@@ -1,0 +1,390 @@
+(* joinopt — command-line driver for the DPhyp join-ordering library.
+
+   Subcommands:
+     optimize   parse a SQL query, run conflict analysis + an optimizer
+     shape      generate a benchmark graph and optimize it
+     ccp        csg-cmp-pair counts (DPhyp vs. brute force)
+     dot        Graphviz export of a query or shape hypergraph
+     trace      csg-cmp-pair emission trace (the paper's Figure 3)  *)
+
+module Ns = Nodeset.Node_set
+module G = Hypergraph.Graph
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared argument converters                                          *)
+
+let algo_conv =
+  let parse s =
+    match Core.Optimizer.of_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Core.Optimizer.name a))
+
+let algo_arg =
+  let doc = "Algorithm: dphyp, dpsize, dpsub, dpccp, goo, topdown or tdpart." in
+  Arg.(value & opt algo_conv Core.Optimizer.Dphyp & info [ "a"; "algo" ] ~doc)
+
+let model_arg =
+  let model_conv =
+    let parse s =
+      match Costing.Cost_model.by_name s with
+      | Some m -> Ok m
+      | None -> Error (`Msg (Printf.sprintf "unknown cost model %S" s))
+    in
+    Arg.conv (parse, fun ppf (m : Costing.Cost_model.t) -> Format.pp_print_string ppf m.name)
+  in
+  let doc = "Cost model: cout or cmm." in
+  Arg.(value & opt model_conv Costing.Cost_model.c_out & info [ "m"; "model" ] ~doc)
+
+let conservative_arg =
+  let doc = "Use the conservative conflict-detection gate (see DESIGN.md)." in
+  Arg.(value & flag & info [ "conservative" ] ~doc)
+
+let shape_arg =
+  let doc =
+    "Graph shape: chain, cycle, star, clique, grid, cycle-hyper, star-hyper."
+  in
+  Arg.(value & opt string "cycle" & info [ "s"; "shape" ] ~doc)
+
+let n_arg =
+  let doc = "Number of relations (star: satellites)." in
+  Arg.(value & opt int 8 & info [ "n" ] ~doc)
+
+let splits_arg =
+  let doc = "Hyperedge split level for cycle-hyper / star-hyper." in
+  Arg.(value & opt int 0 & info [ "splits" ] ~doc)
+
+let graph_of_shape shape n splits =
+  match shape with
+  | "chain" -> Ok (Workloads.Shapes.chain n)
+  | "cycle" -> Ok (Workloads.Shapes.cycle n)
+  | "star" -> Ok (Workloads.Shapes.star n)
+  | "clique" -> Ok (Workloads.Shapes.clique n)
+  | "grid" -> Ok (Workloads.Shapes.grid ~rows:2 ~cols:((n + 1) / 2) ())
+  | "cycle-hyper" | "star-hyper" -> (
+      let fam =
+        if shape = "cycle-hyper" then Workloads.Splits.cycle_based n
+        else Workloads.Splits.star_based n
+      in
+      match List.nth_opt fam splits with
+      | Some g -> Ok g
+      | None ->
+          Error
+            (Printf.sprintf "split level %d out of range (max %d)" splits
+               (Workloads.Splits.num_splits fam)))
+  | s -> Error (Printf.sprintf "unknown shape %S" s)
+
+let report_result g (r : Core.Optimizer.result) elapsed =
+  (match r.plan with
+  | Some p ->
+      Format.printf "plan: %a@.cost: %.4g   est. cardinality: %.4g@."
+        Plans.Plan.pp p p.cost p.card;
+      Format.printf "@[<v>%a@]" (Plans.Plan.pp_verbose g) p
+  | None -> Format.printf "no plan found@.");
+  Format.printf "counters: %a@." Core.Counters.pp r.counters;
+  Format.printf "dp entries: %d   time: %.3f ms@." r.dp_entries
+    (elapsed *. 1000.0)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* optimize: SQL pipeline                                              *)
+
+let sql_arg =
+  let doc = "SQL query text (or @file to read from a file)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc)
+
+let read_sql s =
+  if String.length s > 0 && s.[0] = '@' then begin
+    let path = String.sub s 1 (String.length s - 1) in
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  end
+  else s
+
+let optimize_cmd =
+  let run sql algo model conservative verbose dot_plan =
+    match Sqlfront.Binder.parse_and_bind (read_sql sql) with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok bound ->
+        let tree = Conflicts.Simplify.simplify bound.tree in
+        Format.printf "initial operator tree:@.%a@." Relalg.Optree.pp tree;
+        let analysis = Conflicts.Analysis.analyze ~conservative tree in
+        if verbose then Format.printf "%a@." Conflicts.Analysis.pp analysis;
+        let g = Conflicts.Derive.hypergraph analysis in
+        if verbose then Format.printf "%a@." G.pp g;
+        let r, elapsed =
+          timed (fun () -> Core.Optimizer.run ~model algo g)
+        in
+        report_result g r elapsed;
+        (match dot_plan, r.Core.Optimizer.plan with
+        | Some path, Some p ->
+            Plans.Plan_dot.write_file path g p;
+            Format.printf "plan graph written to %s@." path
+        | _ -> ());
+        0
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print analysis and graph.")
+  in
+  let dot_plan =
+    Arg.(value & opt (some string) None
+         & info [ "dot-plan" ] ~doc:"Write the chosen plan as Graphviz to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize a SQL query")
+    Term.(const run $ sql_arg $ algo_arg $ model_arg $ conservative_arg $ verbose $ dot_plan)
+
+(* ------------------------------------------------------------------ *)
+(* shape: benchmark graphs                                             *)
+
+let shape_cmd =
+  let run shape n splits algo model =
+    match graph_of_shape shape n splits with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok g ->
+        Format.printf "%a@." G.pp g;
+        let r, elapsed = timed (fun () -> Core.Optimizer.run ~model algo g) in
+        report_result g r elapsed;
+        0
+  in
+  Cmd.v
+    (Cmd.info "shape" ~doc:"Generate a benchmark graph and optimize it")
+    Term.(const run $ shape_arg $ n_arg $ splits_arg $ algo_arg $ model_arg)
+
+(* ------------------------------------------------------------------ *)
+(* graph: save / load / optimize serialized hypergraphs                *)
+
+let graph_cmd =
+  let run input algo model save =
+    let g_result =
+      if String.length input > 0 && input.[0] = '@' then
+        Hypergraph.Serialize.read_file
+          (String.sub input 1 (String.length input - 1))
+      else
+        match graph_of_shape input 8 0 with
+        | Ok g -> Ok g
+        | Error _ -> Hypergraph.Serialize.of_string input
+    in
+    match g_result with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok g ->
+        (match save with
+        | Some path ->
+            Hypergraph.Serialize.write_file path g;
+            Format.printf "wrote %s@." path
+        | None -> ());
+        Format.printf "%a@." G.pp g;
+        let r, elapsed = timed (fun () -> Core.Optimizer.run ~model algo g) in
+        report_result g r elapsed;
+        0
+  in
+  let input =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"GRAPH"
+             ~doc:"@file with a serialized hypergraph, a shape name, or \
+                   inline serialized text.")
+  in
+  let save =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~doc:"Also write the graph to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Optimize a serialized hypergraph (see \
+                            Hypergraph.Serialize for the format)")
+    Term.(const run $ input $ algo_arg $ model_arg $ save)
+
+(* ------------------------------------------------------------------ *)
+(* ccp: counts                                                         *)
+
+let ccp_cmd =
+  let run shape n splits brute =
+    match graph_of_shape shape n splits with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok g ->
+        let trace = Core.Dphyp.enumerate_ccps g in
+        Format.printf "DPhyp emits %d csg-cmp-pairs@." (List.length trace);
+        if brute then begin
+          let csg = Hypergraph.Csg_enum.count_connected_subgraphs g in
+          let ccp = Hypergraph.Csg_enum.count_csg_cmp_pairs g in
+          let trees = Hypergraph.Csg_enum.count_join_trees g in
+          Format.printf
+            "brute force: %d connected subgraphs, %d csg-cmp-pairs, %d \
+             ordered join trees@."
+            csg ccp trees
+        end;
+        0
+  in
+  let brute =
+    Arg.(value & flag
+         & info [ "brute" ] ~doc:"Also run the exponential brute-force count.")
+  in
+  Cmd.v
+    (Cmd.info "ccp" ~doc:"Count csg-cmp-pairs")
+    Term.(const run $ shape_arg $ n_arg $ splits_arg $ brute)
+
+(* ------------------------------------------------------------------ *)
+(* dot: Graphviz export                                                *)
+
+let dot_cmd =
+  let run shape n splits out =
+    match graph_of_shape shape n splits with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok g ->
+        (match out with
+        | Some path ->
+            Hypergraph.Dot.write_file path g;
+            Format.printf "wrote %s@." path
+        | None -> print_string (Hypergraph.Dot.to_dot g));
+        0
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Output file (stdout if absent).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export a hypergraph in Graphviz format")
+    Term.(const run $ shape_arg $ n_arg $ splits_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* trace: emission order (Figure 3)                                    *)
+
+let trace_cmd =
+  let run shape n splits =
+    match graph_of_shape shape n splits with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok g ->
+        List.iteri
+          (fun i (s1, s2) ->
+            Format.printf "%3d: (%a, %a)@." (i + 1) Ns.pp s1 Ns.pp s2)
+          (Core.Dphyp.enumerate_ccps g);
+        0
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Print DPhyp's csg-cmp-pair emission trace")
+    Term.(const run $ shape_arg $ n_arg $ splits_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run: SQL -> optimize -> execute on a generated instance             *)
+
+let run_cmd =
+  let run sql algo model conservative rows seed =
+    match Sqlfront.Binder.parse_and_bind (read_sql sql) with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok bound -> (
+        let tree = Conflicts.Simplify.simplify bound.tree in
+        let analysis = Conflicts.Analysis.analyze ~conservative tree in
+        let inst = Executor.Instance.for_tree ~rows ~domain:4 ~seed tree in
+        let g0 = Conflicts.Derive.hypergraph analysis in
+        let g = Executor.Estimate.calibrate inst g0 in
+        match (Core.Optimizer.run ~model algo g).Core.Optimizer.plan with
+        | None ->
+            Format.eprintf "no plan found@.";
+            1
+        | Some plan ->
+            Format.printf "plan: %a  (est. cost %.4g, est. rows %.4g)@."
+              Plans.Plan.pp plan plan.Plans.Plan.cost plan.Plans.Plan.card;
+            let optimized = Plans.Plan.to_optree g plan in
+            let result = Executor.Exec.eval inst optimized in
+            let universe = Executor.Exec.output_tables tree in
+            let expected = Executor.Exec.eval inst tree in
+            (match Executor.Bag.diff_summary ~universe expected result with
+            | None ->
+                Format.printf
+                  "verified: plan result equals original-order result (%d \
+                   tuples)@."
+                  (List.length result)
+            | Some m -> Format.printf "MISMATCH: %s@." m);
+            Format.printf "@.first tuples:@.";
+            List.iteri
+              (fun i env ->
+                if i < 10 then Format.printf "  %a@." Executor.Env.pp env)
+              result;
+            0)
+  in
+  let rows =
+    Arg.(value & opt int 8
+         & info [ "rows" ] ~doc:"Rows per generated base table.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Data generator seed.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimize a SQL query and execute it on generated data")
+    Term.(const run $ sql_arg $ algo_arg $ model_arg $ conservative_arg $ rows $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* tpch: canned realistic join graphs                                  *)
+
+let tpch_cmd =
+  let run query algo model sf =
+    if query = "all" then begin
+      List.iter
+        (fun name ->
+          let g = Workloads.Tpch.query ~sf name in
+          let r, elapsed = timed (fun () -> Core.Optimizer.run ~model algo g) in
+          Format.printf "%-4s (%d relations): time=%.3f ms  cost=%.4g  %a@."
+            name (G.num_nodes g) (elapsed *. 1000.0)
+            (match r.Core.Optimizer.plan with
+            | Some p -> p.Plans.Plan.cost
+            | None -> nan)
+            (Format.pp_print_option Plans.Plan.pp)
+            r.Core.Optimizer.plan)
+        Workloads.Tpch.query_names;
+      0
+    end
+    else
+      match Workloads.Tpch.query ~sf query with
+      | g ->
+          Format.printf "%a@." G.pp g;
+          let r, elapsed = timed (fun () -> Core.Optimizer.run ~model algo g) in
+          report_result g r elapsed;
+          0
+      | exception Invalid_argument msg ->
+          Format.eprintf "error: %s@." msg;
+          1
+  in
+  let query =
+    Arg.(value & pos 0 string "all"
+         & info [] ~docv:"QUERY" ~doc:"q2, q3, q5, q7, q8, q9, q10 or all.")
+  in
+  let sf =
+    Arg.(value & opt float 1.0 & info [ "sf" ] ~doc:"TPC-H scale factor.")
+  in
+  Cmd.v
+    (Cmd.info "tpch" ~doc:"Optimize TPC-H-shaped join graphs")
+    Term.(const run $ query $ algo_arg $ model_arg $ sf)
+
+let main =
+  let info =
+    Cmd.info "joinopt" ~version:"1.0.0"
+      ~doc:"DPhyp join ordering over hypergraphs (SIGMOD 2008 reproduction)"
+  in
+  Cmd.group info
+    [
+      optimize_cmd; run_cmd; shape_cmd; graph_cmd; ccp_cmd; dot_cmd;
+      trace_cmd; tpch_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

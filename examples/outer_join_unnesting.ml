@@ -1,0 +1,75 @@
+(* Non-inner joins end to end (Section 5).
+
+   A query in the style that query unnesting produces: customers,
+   their orders (outer join — keep customers without orders), an
+   antijoin against a blacklist, and a nestjoin computing a per-row
+   aggregate — exactly the operator mix DPhyp handles by translating
+   conflicts into hyperedges.
+
+   We show the conflict analysis (SES/TES per operator), the derived
+   hypergraph, the optimized plan, and then EXECUTE both the original
+   tree and the optimized plan on a small generated database to verify
+   they agree tuple for tuple.
+
+   Run with:  dune exec examples/outer_join_unnesting.exe *)
+
+module Ns = Nodeset.Node_set
+module Ot = Relalg.Optree
+module Op = Relalg.Operator
+module P = Relalg.Predicate
+
+(* Relations (numbered left to right as the tree is written):
+     0 customer   1 orders   2 blacklist   3 lineitem *)
+let tree =
+  let customer = Ot.leaf 0 "customer" in
+  let orders = Ot.leaf 1 "orders" in
+  let blacklist = Ot.leaf 2 "blacklist" in
+  let lineitem = Ot.leaf 3 "lineitem" in
+  (* customer ⟕ orders *)
+  let co = Ot.op Op.left_outer (P.eq_cols 0 "ckey" 1 "ckey") customer orders in
+  (* ... ▷ blacklist (customers not on the blacklist) *)
+  let cob = Ot.op Op.left_anti (P.eq_cols 0 "name" 2 "name") co blacklist in
+  (* ... nestjoin lineitem: count of lineitems per order *)
+  Ot.op
+    ~aggs:[ Relalg.Aggregate.count "n_items" ]
+    Op.left_nest
+    (P.eq_cols 1 "okey" 3 "okey")
+    cob lineitem
+
+let () =
+  Format.printf "initial operator tree:@.%a@.@." Ot.pp tree;
+  let tree = Conflicts.Simplify.simplify tree in
+  let analysis = Conflicts.Analysis.analyze tree in
+  Format.printf "%a@." Conflicts.Analysis.pp analysis;
+  let cards = function
+    | 0 -> 200.0 (* customer *)
+    | 1 -> 1500.0 (* orders *)
+    | 2 -> 40.0 (* blacklist *)
+    | _ -> 6000.0 (* lineitem *)
+  in
+  let g = Conflicts.Derive.hypergraph ~cards analysis in
+  Format.printf "derived hypergraph:@.%a@." Hypergraph.Graph.pp g;
+  let r = Core.Optimizer.run Core.Optimizer.Dphyp g in
+  let plan = Option.get r.plan in
+  Format.printf "optimal plan: %a@.%a@." Plans.Plan.pp plan
+    (Plans.Plan.pp_verbose g) plan;
+
+  (* Execute original and optimized on the same small database. *)
+  let inst = Executor.Instance.for_tree ~rows:10 ~domain:12 ~seed:2024 tree in
+  let expected = Executor.Exec.eval inst tree in
+  let optimized_tree = Plans.Plan.to_optree g plan in
+  let got = Executor.Exec.eval inst optimized_tree in
+  let universe = Executor.Exec.output_tables tree in
+  (match Executor.Bag.diff_summary ~universe expected got with
+  | None ->
+      Format.printf
+        "execution check: original tree and optimized plan agree on all %d \
+         result tuples@."
+        (List.length expected)
+  | Some msg -> Format.printf "MISMATCH: %s@." msg);
+
+  (* A few result rows, for flavor. *)
+  Format.printf "@.sample results (first 5 tuples):@.";
+  List.iteri
+    (fun i env -> if i < 5 then Format.printf "  %a@." Executor.Env.pp env)
+    expected

@@ -1,0 +1,72 @@
+(* Star schema: the data-warehouse workload the paper singles out
+   ("star queries are common in data warehousing and thus deserve
+   special attention", Section 4).
+
+   A sales fact table joined to eight dimensions, with realistic-ish
+   cardinality skew.  We run every algorithm on the same graph and
+   compare optimization effort (the counters tell the DPhyp story even
+   when wall clock is too small to see) and plan quality (GOO's greedy
+   plan vs. the DP optimum).
+
+   Run with:  dune exec examples/star_schema.exe *)
+
+module G = Hypergraph.Graph
+
+let dims =
+  [
+    ("date_dim", 2_555.0, 0.002);
+    ("store", 120.0, 0.01);
+    ("item", 30_000.0, 0.0001);
+    ("customer", 500_000.0, 0.00001);
+    ("promotion", 450.0, 0.01);
+    ("household", 7_200.0, 0.001);
+    ("warehouse", 15.0, 0.07);
+    ("ship_mode", 20.0, 0.05);
+  ]
+
+let build () =
+  let b = Hypergraph.Builder.create () in
+  let fact = Hypergraph.Builder.add_relation ~card:5_000_000.0 b "sales" in
+  List.iter
+    (fun (name, card, sel) ->
+      let d = Hypergraph.Builder.add_relation ~card b name in
+      Hypergraph.Builder.add_predicate ~sel b
+        (Relalg.Predicate.eq_cols fact (name ^ "_key") d (name ^ "_key")))
+    dims;
+  Hypergraph.Builder.build b
+
+let () =
+  let g = build () in
+  Format.printf "Star schema: fact table + %d dimensions@.%a@."
+    (List.length dims) G.pp g;
+  let results =
+    List.map
+      (fun algo ->
+        let t0 = Sys.time () in
+        let r = Core.Optimizer.run algo g in
+        (algo, r, Sys.time () -. t0))
+      Core.Optimizer.[ Dphyp; Dpccp; Dpsize; Dpsub; Topdown; Goo ]
+  in
+  Format.printf "@.%-8s %12s %12s %12s %10s %14s@." "algo" "pairs" "ccp"
+    "cost-calls" "time[ms]" "plan cost";
+  List.iter
+    (fun (algo, (r : Core.Optimizer.result), t) ->
+      Format.printf "%-8s %12d %12d %12d %10.2f %14.4g@."
+        (Core.Optimizer.name algo)
+        r.counters.Core.Counters.pairs_considered
+        r.counters.Core.Counters.ccp_emitted
+        r.counters.Core.Counters.cost_calls (t *. 1000.0)
+        (match r.plan with Some p -> p.Plans.Plan.cost | None -> nan))
+    results;
+  (* How far off is greedy? *)
+  let cost algo =
+    match List.find_opt (fun (a, _, _) -> a = algo) results with
+    | Some (_, { plan = Some p; _ }, _) -> p.Plans.Plan.cost
+    | _ -> nan
+  in
+  let opt = cost Core.Optimizer.Dphyp and greedy = cost Core.Optimizer.Goo in
+  Format.printf "@.GOO plan is %.2fx the optimum (%.4g vs %.4g)@."
+    (greedy /. opt) greedy opt;
+  match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+  | Some p -> Format.printf "@.optimal bushy plan:@.%a" (Plans.Plan.pp_verbose g) p
+  | None -> ()

@@ -1,0 +1,179 @@
+module Ns = Nodeset.Node_set
+module Ot = Relalg.Optree
+module Op = Relalg.Operator
+module P = Relalg.Predicate
+
+type op_info = {
+  index : int;
+  op : Op.t;
+  pred : P.t;
+  aggs : Relalg.Aggregate.t list;
+  left_tables : Ns.t;
+  right_tables : Ns.t;
+  ses : Ns.t;
+  tes : Ns.t;
+}
+
+type t = { tree : Ot.t; ops : op_info array; num_tables : int }
+
+let ses_of_node (n : Ot.node) ~inside =
+  let from_pred = Ns.inter (P.free_tables n.pred) inside in
+  let from_aggs =
+    List.fold_left
+      (fun acc a -> Ns.union acc (Relalg.Aggregate.free_tables a))
+      Ns.empty n.aggs
+  in
+  Ns.union from_pred (Ns.inter from_aggs inside)
+
+(* Attribute names referenced by a predicate — for the nestjoin rule
+   of CalcTES (a predicate touching a computed attribute cannot float
+   below the nestjoin that computes it). *)
+let rec scalar_attrs acc = function
+  | Relalg.Scalar.Col (_, a) -> a :: acc
+  | Relalg.Scalar.Const _ -> acc
+  | Relalg.Scalar.Add (x, y) | Relalg.Scalar.Sub (x, y) | Relalg.Scalar.Mul (x, y)
+    ->
+      scalar_attrs (scalar_attrs acc x) y
+
+let rec pred_attrs acc = function
+  | P.True_ | P.False_ -> acc
+  | P.Cmp (_, a, b) -> scalar_attrs (scalar_attrs acc a) b
+  | P.And (a, b) | P.Or (a, b) -> pred_attrs (pred_attrs acc a) b
+  | P.Not a -> pred_attrs acc a
+
+(* Annotated tree: interior nodes carry their post-order index. *)
+type at = AL of Ot.leaf | AN of int * at * at
+
+let analyze ?(conservative = false) tree =
+  (match Ot.validate tree with
+  | Ok () -> ()
+  | Error e ->
+      invalid_arg ("Analysis.analyze: invalid tree: " ^ Ot.error_to_string e));
+  let n_ops = Ot.num_ops tree in
+  let op_arr = Array.make n_ops Op.join in
+  let pred_arr = Array.make n_ops P.True_ in
+  let aggs_arr = Array.make n_ops [] in
+  let lt = Array.make n_ops Ns.empty in
+  let rt = Array.make n_ops Ns.empty in
+  let ses = Array.make n_ops Ns.empty in
+  let tes = Array.make n_ops Ns.empty in
+  let counter = ref 0 in
+  let rec annotate = function
+    | Ot.Leaf l -> (AL l, Ns.singleton l.node)
+    | Ot.Node nd ->
+        let al, tl = annotate nd.left in
+        let ar, tr = annotate nd.right in
+        let i = !counter in
+        incr counter;
+        op_arr.(i) <- nd.op;
+        pred_arr.(i) <- nd.pred;
+        aggs_arr.(i) <- nd.aggs;
+        lt.(i) <- tl;
+        rt.(i) <- tr;
+        ses.(i) <- ses_of_node nd ~inside:(Ns.union tl tr);
+        (* Scope-pinning soundness rule (see the .mli): a non-inner
+           operator keeps its whole original right argument; the full
+           outer join keeps both arguments. *)
+        tes.(i) <-
+          (match nd.op.Op.kind with
+          | Op.Inner -> ses.(i)
+          | Op.Full_outer -> Ns.union ses.(i) (Ns.union tl tr)
+          | Op.Left_outer | Op.Left_semi | Op.Left_anti | Op.Left_nest ->
+              Ns.union ses.(i) tr);
+        (AN (i, al, ar), Ns.union tl tr)
+  in
+  let atree, all_tables = annotate tree in
+  (* CalcTES, bottom-up: post-order indices are already bottom-up. *)
+  let absorb i1 i2 = tes.(i1) <- Ns.union tes.(i1) tes.(i2) in
+  let calc_tes i1 l1 r1 =
+    let ft1 = P.free_tables pred_arr.(i1) in
+    (* left scan: RightTables accumulates T(right(∘3)) down the path *)
+    let rec scan_left acc = function
+      | AL _ -> ()
+      | AN (i2, l2, r2) ->
+          let path = Ns.union acc rt.(i2) in
+          let lc_tables =
+            if conservative then Ns.union path (Ns.union lt.(i2) rt.(i2))
+            else if Op.commutative op_arr.(i2) then Ns.union path lt.(i2)
+            else path
+          in
+          if Ns.intersects ft1 lc_tables && Conflict_rules.oc op_arr.(i2) op_arr.(i1)
+          then absorb i1 i2;
+          scan_left path l2;
+          scan_left path r2
+    in
+    let rec scan_right acc = function
+      | AL _ -> ()
+      | AN (i2, l2, r2) ->
+          let path = Ns.union acc lt.(i2) in
+          let rc_tables =
+            if conservative then Ns.union path (Ns.union lt.(i2) rt.(i2))
+            else if Op.commutative op_arr.(i2) then Ns.union path rt.(i2)
+            else path
+          in
+          if Ns.intersects ft1 rc_tables && Conflict_rules.oc op_arr.(i1) op_arr.(i2)
+          then absorb i1 i2;
+          scan_right path l2;
+          scan_right path r2
+    in
+    scan_left Ns.empty l1;
+    scan_right Ns.empty r1;
+    (* nestjoin computed-attribute rule, over both subtrees *)
+    let p1_attrs = pred_attrs [] pred_arr.(i1) in
+    let rec scan_nest = function
+      | AL _ -> ()
+      | AN (i2, l2, r2) ->
+          if
+            op_arr.(i2).Op.kind = Op.Left_nest
+            && List.exists
+                 (fun (a : Relalg.Aggregate.t) -> List.mem a.name p1_attrs)
+                 aggs_arr.(i2)
+          then absorb i1 i2;
+          scan_nest l2;
+          scan_nest r2
+    in
+    scan_nest l1;
+    scan_nest r1
+  in
+  let rec walk = function
+    | AL _ -> ()
+    | AN (i, l, r) ->
+        walk l;
+        walk r;
+        calc_tes i l r
+  in
+  walk atree;
+  let ops =
+    Array.init n_ops (fun i ->
+        {
+          index = i;
+          op = op_arr.(i);
+          pred = pred_arr.(i);
+          aggs = aggs_arr.(i);
+          left_tables = lt.(i);
+          right_tables = rt.(i);
+          ses = ses.(i);
+          tes = tes.(i);
+        })
+  in
+  { tree; ops; num_tables = Ns.cardinal all_tables }
+
+let hyperedge_sides info =
+  let r = Ns.inter info.tes info.right_tables in
+  let l = Ns.diff info.tes r in
+  (l, r)
+
+let ses_sides info =
+  let r = Ns.inter info.ses info.right_tables in
+  let l = Ns.diff info.ses r in
+  (l, r)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>conflict analysis: %d tables, %d operators@,"
+    t.num_tables (Array.length t.ops);
+  Array.iter
+    (fun i ->
+      Format.fprintf ppf "  #%d %a pred=%a SES=%a TES=%a@," i.index Op.pp i.op
+        P.pp i.pred Ns.pp i.ses Ns.pp i.tes)
+    t.ops;
+  Format.fprintf ppf "@]"

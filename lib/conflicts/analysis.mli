@@ -1,0 +1,77 @@
+(** SES / TES computation over an initial operator tree (Section 5.5).
+
+    Each operator of the tree receives:
+    - its {e syntactic eligibility set} SES — the tables its predicate
+      (and, for nestjoins, its aggregate expressions) references,
+      restricted to the subtree; and
+    - its {e total eligibility set} TES — SES plus the TES of every
+      descendant operator it conflicts with, computed bottom-up by
+      CalcTES.
+
+    The conflict tests are literal implementations of the paper:
+
+    {v
+    LeftConflict(∘2, ∘1)  = LC ∧ OC(∘2, ∘1)   ∘2 ∈ STO(left(∘1))
+    RightConflict(∘1, ∘2) = RC ∧ OC(∘1, ∘2)   ∘2 ∈ STO(right(∘1))
+    LC = FT(p1) ∩ RightTables(∘1, ∘2) ≠ ∅
+    RC = FT(p1) ∩ LeftTables(∘1, ∘2) ≠ ∅
+    v}
+
+    [RightTables(∘1, ∘2)] unions [T(right(∘3))] over every ∘3 on the
+    path from ∘2 (inclusive) to ∘1 (exclusive), adding [T(left(∘2))]
+    when ∘2 is commutative — this folds in the operator-tree
+    normalization the appendix describes for commutative operators,
+    so no separate normalization pass is needed.  [LeftTables] is the
+    mirror image.  Finally, a nestjoin descendant whose computed
+    attribute appears in [p1] forces its TES into [TES(p1)]
+    (the last loop of CalcTES). *)
+
+type op_info = {
+  index : int;  (** bottom-up (post-order) position, also edge id *)
+  op : Relalg.Operator.t;
+  pred : Relalg.Predicate.t;
+  aggs : Relalg.Aggregate.t list;
+  left_tables : Nodeset.Node_set.t;  (** T(left(∘)) *)
+  right_tables : Nodeset.Node_set.t;  (** T(right(∘)) *)
+  ses : Nodeset.Node_set.t;
+  tes : Nodeset.Node_set.t;
+}
+
+type t = {
+  tree : Relalg.Optree.t;
+  ops : op_info array;  (** post order: children before parents *)
+  num_tables : int;
+}
+
+val analyze : ?conservative:bool -> Relalg.Optree.t -> t
+(** @raise Invalid_argument if the tree fails
+    {!Relalg.Optree.validate}.
+
+    [conservative] (default false) widens the LC/RC gate from the
+    paper's RightTables/LeftTables path sets to the {e whole subtree}
+    of the descendant operator.  Rationale: the literal path-based
+    gate never fires for a left-deep star of antijoins (hub-sharing
+    antijoins commute, Equation 2), so the search space stays
+    exponential and Figure 8a's decreasing curve cannot appear; the
+    paper's own measurements ("search space reduced from O(n²) to
+    O(n)") imply its implementation pinned such chains.  The
+    conservative gate absorbs a descendant's TES whenever the current
+    predicate references {e any} table under it (and OC holds), which
+    is strictly more restrictive — every plan it allows is allowed by
+    the literal rules — and reproduces the published curves.  See
+    DESIGN.md §4. *)
+
+val ses_of_node :
+  Relalg.Optree.node -> inside:Nodeset.Node_set.t -> Nodeset.Node_set.t
+(** SES of one operator given its subtree's table set — exposed for
+    unit tests. *)
+
+val hyperedge_sides : op_info -> Nodeset.Node_set.t * Nodeset.Node_set.t
+(** Section 5.7: [(l, r)] with [r = TES ∩ T(right(∘))] and
+    [l = TES \ r]. *)
+
+val ses_sides : op_info -> Nodeset.Node_set.t * Nodeset.Node_set.t
+(** Same split applied to the SES instead of the TES — the edges of
+    the generate-and-test variant. *)
+
+val pp : Format.formatter -> t -> unit

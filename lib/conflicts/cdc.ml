@@ -1,0 +1,172 @@
+module Ns = Nodeset.Node_set
+module Ot = Relalg.Optree
+module Op = Relalg.Operator
+module P = Relalg.Predicate
+module He = Hypergraph.Hyperedge
+module G = Hypergraph.Graph
+
+type rule = { trigger : Ns.t; required : Ns.t }
+
+type op_info = {
+  index : int;
+  op : Op.t;
+  pred : P.t;
+  aggs : Relalg.Aggregate.t list;
+  left_tables : Ns.t;
+  right_tables : Ns.t;
+  ses : Ns.t;
+  tes : Ns.t;
+  rules : rule list;
+}
+
+type t = { tree : Ot.t; ops : op_info array; num_tables : int }
+
+let rule_ok s r = Ns.disjoint r.trigger s || Ns.subset r.required s
+
+type at = AL of Ot.leaf | AN of int * at * at
+
+let analyze tree =
+  (match Ot.validate tree with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Cdc.analyze: invalid tree: " ^ Ot.error_to_string e));
+  let n_ops = Ot.num_ops tree in
+  let op_arr = Array.make n_ops Op.join in
+  let pred_arr = Array.make n_ops P.True_ in
+  let aggs_arr = Array.make n_ops [] in
+  let lt = Array.make n_ops Ns.empty in
+  let rt = Array.make n_ops Ns.empty in
+  let ses = Array.make n_ops Ns.empty in
+  let tes = Array.make n_ops Ns.empty in
+  let rules = Array.make n_ops [] in
+  let counter = ref 0 in
+  let rec annotate = function
+    | Ot.Leaf l -> (AL l, Ns.singleton l.node)
+    | Ot.Node nd ->
+        let al, tl = annotate nd.left in
+        let ar, tr = annotate nd.right in
+        let i = !counter in
+        incr counter;
+        op_arr.(i) <- nd.op;
+        pred_arr.(i) <- nd.pred;
+        aggs_arr.(i) <- nd.aggs;
+        lt.(i) <- tl;
+        rt.(i) <- tr;
+        ses.(i) <- Analysis.ses_of_node nd ~inside:(Ns.union tl tr);
+        tes.(i) <- ses.(i);
+        (AN (i, al, ar), Ns.union tl tr)
+  in
+  let atree, all_tables = annotate tree in
+  (* rule derivation, per operator, over both subtrees *)
+  let derive_rules ib l r =
+    let add_rule trigger required =
+      if not (Ns.is_empty trigger) then
+        rules.(ib) <- { trigger; required } :: rules.(ib)
+    in
+    let rec scan_left = function
+      | AL _ -> ()
+      | AN (ia, l2, r2) ->
+          if not (Properties.assoc op_arr.(ia) op_arr.(ib)) then
+            add_rule rt.(ia) lt.(ia);
+          if not (Properties.l_asscom op_arr.(ia) op_arr.(ib)) then
+            add_rule lt.(ia) rt.(ia);
+          scan_left l2;
+          scan_left r2
+    in
+    let rec scan_right = function
+      | AL _ -> ()
+      | AN (ia, l2, r2) ->
+          if not (Properties.assoc op_arr.(ib) op_arr.(ia)) then
+            add_rule lt.(ia) rt.(ia);
+          if not (Properties.r_asscom op_arr.(ib) op_arr.(ia)) then
+            add_rule rt.(ia) lt.(ia);
+          scan_right l2;
+          scan_right r2
+    in
+    scan_left l;
+    scan_right r;
+    (* computed-attribute pinning for nestjoins, as in Analysis *)
+    let p_attrs =
+      let rec scalar acc = function
+        | Relalg.Scalar.Col (_, a) -> a :: acc
+        | Relalg.Scalar.Const _ -> acc
+        | Relalg.Scalar.Add (x, y)
+        | Relalg.Scalar.Sub (x, y)
+        | Relalg.Scalar.Mul (x, y) ->
+            scalar (scalar acc x) y
+      in
+      let rec pred acc = function
+        | P.True_ | P.False_ -> acc
+        | P.Cmp (_, a, b) -> scalar (scalar acc a) b
+        | P.And (a, b) | P.Or (a, b) -> pred (pred acc a) b
+        | P.Not a -> pred acc a
+      in
+      pred [] pred_arr.(ib)
+    in
+    let rec scan_nest = function
+      | AL _ -> ()
+      | AN (ia, l2, r2) ->
+          if
+            op_arr.(ia).Op.kind = Op.Left_nest
+            && List.exists
+                 (fun (a : Relalg.Aggregate.t) -> List.mem a.name p_attrs)
+                 aggs_arr.(ia)
+          then tes.(ib) <- Ns.union tes.(ib) (Ns.union lt.(ia) rt.(ia));
+          scan_nest l2;
+          scan_nest r2
+    in
+    scan_nest l;
+    scan_nest r
+  in
+  let rec walk = function
+    | AL _ -> ()
+    | AN (i, l, r) ->
+        walk l;
+        walk r;
+        derive_rules i l r
+  in
+  walk atree;
+  let ops =
+    Array.init n_ops (fun i ->
+        {
+          index = i;
+          op = op_arr.(i);
+          pred = pred_arr.(i);
+          aggs = aggs_arr.(i);
+          left_tables = lt.(i);
+          right_tables = rt.(i);
+          ses = ses.(i);
+          tes = tes.(i);
+          rules = List.rev rules.(i);
+        })
+  in
+  { tree; ops; num_tables = Ns.cardinal all_tables }
+
+type filter = Ns.t -> Ns.t -> (He.t * He.orientation) list -> bool
+
+let derive ?(cards = fun _ -> 1000.0) ?(sels = fun _ -> 0.1) (a : t) =
+  let edge_of (info : op_info) =
+    let r = Ns.inter info.tes info.right_tables in
+    let l = Ns.diff info.tes r in
+    let l = if Ns.is_empty l then info.left_tables else l in
+    let r = if Ns.is_empty r then info.right_tables else r in
+    He.make ~op:info.op ~pred:info.pred ~sel:(sels info.index)
+      ~aggs:info.aggs ~id:info.index l r
+  in
+  let edges = Array.map edge_of a.ops in
+  let rels =
+    Array.of_list
+      (List.map
+         (fun (lf : Ot.leaf) ->
+           G.base_rel ~free:lf.free ~card:(cards lf.node) lf.name)
+         (Ot.leaves a.tree))
+  in
+  let g = G.make rels edges in
+  let filter s1 s2 connecting =
+    let s = Ns.union s1 s2 in
+    List.for_all
+      (fun ((e : He.t), _) ->
+        e.id >= Array.length a.ops
+        || List.for_all (rule_ok s) a.ops.(e.id).rules)
+      connecting
+  in
+  (g, filter)

@@ -1,0 +1,68 @@
+(** CD-C conflict detection — the modern successor to this paper's
+    TES machinery (Moerkotte, Fender & Neumann, SIGMOD 2013), included
+    as an extension because it is what today's DPhyp deployments pair
+    the enumerator with.
+
+    Instead of absorbing whole TESs on conflict (which pins entire
+    subtrees and over-restricts), CD-C attaches {e conflict rules} to
+    each operator.  For an operator ∘b and a descendant ∘a:
+
+    - ∘a in the left subtree:
+      ¬assoc(∘a,∘b)    adds the rule  T(right(∘a)) ⟶ T(left(∘a)),
+      ¬l-asscom(∘a,∘b) adds the rule  T(left(∘a)) ⟶ T(right(∘a));
+    - ∘a in the right subtree:
+      ¬assoc(∘b,∘a)    adds the rule  T(left(∘a)) ⟶ T(right(∘a)),
+      ¬r-asscom(∘b,∘a) adds the rule  T(right(∘a)) ⟶ T(left(∘a)).
+
+    A rule [t1 ⟶ t2] constrains where ∘b may be applied: for a
+    csg-cmp-pair (S1, S2) with S = S1 ∪ S2, if [t1 ∩ S ≠ ∅] then
+    [t2 ⊆ S] must hold.  The TES stays at its syntactic base (SES,
+    plus the computed-attribute pinning for nestjoins), so far more
+    valid reorderings survive than under the 2008 absorption — the
+    search-space comparison is experiment [xcdc] in the benches, and
+    the end-to-end equivalence property in test_integration runs the
+    whole pipeline through this module too. *)
+
+type rule = {
+  trigger : Nodeset.Node_set.t;  (** t1 *)
+  required : Nodeset.Node_set.t;  (** t2 *)
+}
+
+type op_info = {
+  index : int;
+  op : Relalg.Operator.t;
+  pred : Relalg.Predicate.t;
+  aggs : Relalg.Aggregate.t list;
+  left_tables : Nodeset.Node_set.t;
+  right_tables : Nodeset.Node_set.t;
+  ses : Nodeset.Node_set.t;
+  tes : Nodeset.Node_set.t;
+  rules : rule list;
+}
+
+type t = {
+  tree : Relalg.Optree.t;
+  ops : op_info array;  (** post order *)
+  num_tables : int;
+}
+
+val analyze : Relalg.Optree.t -> t
+(** @raise Invalid_argument if the tree fails validation.  Assumes the
+    tree has been through {!Simplify} (standing assumption). *)
+
+type filter =
+  Nodeset.Node_set.t ->
+  Nodeset.Node_set.t ->
+  (Hypergraph.Hyperedge.t * Hypergraph.Hyperedge.orientation) list ->
+  bool
+
+val derive :
+  ?cards:(int -> float) ->
+  ?sels:(int -> float) ->
+  t ->
+  Hypergraph.Graph.t * filter
+(** Hyperedges from the TES split (as in Section 5.7) plus the
+    rule-checking filter.  Feed both to [Core.Optimizer.run]. *)
+
+val rule_ok : Nodeset.Node_set.t -> rule -> bool
+(** [rule_ok s r]: the rule is satisfied for a join assembling [s]. *)

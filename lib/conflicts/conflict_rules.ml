@@ -1,0 +1,17 @@
+module Op = Relalg.Operator
+
+(* OC(∘1, ∘2) per Section 5.5; kinds only — dependence is irrelevant
+   to reorderability conflicts. *)
+let oc_kind (k1 : Op.kind) (k2 : Op.kind) =
+  match k1 with
+  | Op.Inner -> k2 = Op.Full_outer
+  | Op.Left_outer -> not (k2 = Op.Left_outer)
+  | Op.Full_outer -> not (k2 = Op.Left_outer || k2 = Op.Full_outer)
+  | Op.Left_semi | Op.Left_anti | Op.Left_nest -> true
+
+let oc (o1 : Op.t) (o2 : Op.t) = oc_kind o1.kind o2.kind
+
+let table =
+  List.concat_map
+    (fun k1 -> List.map (fun k2 -> (k1, k2, oc_kind k1 k2)) Op.all_kinds)
+    Op.all_kinds

@@ -1,0 +1,28 @@
+(** The operator-pair conflict predicate OC of Section 5.5 / Appendix A.
+
+    For an expression [(R ∘1 S) ∘2 T] (left nesting) or
+    [R ∘2 (S ∘1 T)] (right nesting, with the roles as in the
+    appendix), [oc lower upper] says whether the pair {e conflicts} —
+    i.e. whether the reordering that would make [lower] and [upper]
+    swap nesting is invalid and the lower operator's TES must be
+    absorbed:
+
+    {v
+    OC(∘1, ∘2) = (∘1 = B ∧ ∘2 = M)
+               ∨ (∘1 ≠ B ∧ ¬(∘1 = ∘2 = P)
+                         ∧ ¬(∘1 = M ∧ ∘2 ∈ {P, M}))
+    v}
+
+    where B is the inner join, P the left outer join, M the full outer
+    join, and "each operator also stands for its dependent
+    counterpart" — only the {!Relalg.Operator.kind} matters. *)
+
+val oc : Relalg.Operator.t -> Relalg.Operator.t -> bool
+(** [oc o1 o2] — o1 is the operator whose TES may be absorbed (the
+    descendant), o2 the operator being computed (left nesting), or
+    vice versa for right nesting; the formula is the same in both
+    appendices A.1 and A.2. *)
+
+val table : (Relalg.Operator.kind * Relalg.Operator.kind * bool) list
+(** The full 6×6 matrix as data, for exhaustive unit testing against
+    the equivalences of Figure 9. *)

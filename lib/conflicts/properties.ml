@@ -1,0 +1,62 @@
+module Op = Relalg.Operator
+
+(* Tables derived by dev/props.ml (empirical execution of both sides
+   of each identity) and re-verified by test_conflicts. *)
+
+let assoc_table =
+  [
+    (Op.Inner, Op.Inner);
+    (Op.Inner, Op.Left_outer);
+    (Op.Inner, Op.Left_semi);
+    (Op.Inner, Op.Left_anti);
+    (Op.Inner, Op.Left_nest);
+    (Op.Left_outer, Op.Left_outer);
+    (Op.Full_outer, Op.Left_outer);
+    (Op.Full_outer, Op.Full_outer);
+  ]
+
+let l_asscom_table =
+  [
+    (Op.Inner, Op.Inner);
+    (Op.Inner, Op.Left_outer);
+    (Op.Inner, Op.Left_semi);
+    (Op.Inner, Op.Left_anti);
+    (Op.Inner, Op.Left_nest);
+    (Op.Left_outer, Op.Inner);
+    (Op.Left_outer, Op.Left_outer);
+    (Op.Left_outer, Op.Full_outer);
+    (Op.Left_outer, Op.Left_semi);
+    (Op.Left_outer, Op.Left_anti);
+    (Op.Left_outer, Op.Left_nest);
+    (Op.Full_outer, Op.Left_outer);
+    (Op.Full_outer, Op.Full_outer);
+    (Op.Left_semi, Op.Inner);
+    (Op.Left_semi, Op.Left_outer);
+    (Op.Left_semi, Op.Left_semi);
+    (Op.Left_semi, Op.Left_anti);
+    (Op.Left_semi, Op.Left_nest);
+    (Op.Left_anti, Op.Inner);
+    (Op.Left_anti, Op.Left_outer);
+    (Op.Left_anti, Op.Left_semi);
+    (Op.Left_anti, Op.Left_anti);
+    (Op.Left_anti, Op.Left_nest);
+    (Op.Left_nest, Op.Inner);
+    (Op.Left_nest, Op.Left_outer);
+    (Op.Left_nest, Op.Left_semi);
+    (Op.Left_nest, Op.Left_anti);
+    (Op.Left_nest, Op.Left_nest);
+  ]
+
+let r_asscom_table = [ (Op.Inner, Op.Inner); (Op.Full_outer, Op.Full_outer) ]
+
+let assoc_kind a b = List.mem (a, b) assoc_table
+
+let l_asscom_kind a b = List.mem (a, b) l_asscom_table
+
+let r_asscom_kind a b = List.mem (a, b) r_asscom_table
+
+let assoc (a : Op.t) (b : Op.t) = assoc_kind a.kind b.kind
+
+let l_asscom (a : Op.t) (b : Op.t) = l_asscom_kind a.kind b.kind
+
+let r_asscom (a : Op.t) (b : Op.t) = r_asscom_kind a.kind b.kind

@@ -1,0 +1,37 @@
+(** Algebraic reorderability properties of operator pairs.
+
+    The three identities behind modern conflict detection (the
+    successor approach to this paper's TES machinery — Moerkotte,
+    Fender & Neumann, SIGMOD 2013):
+
+    {v
+    assoc(∘a,∘b):    (A ∘a B) ∘b C  =  A ∘a (B ∘b C)
+    l-asscom(∘a,∘b): (A ∘a B) ∘b C  =  (A ∘b C) ∘a B
+    r-asscom(∘a,∘b): A ∘a (B ∘b C)  =  B ∘b (A ∘a C)
+    v}
+
+    with the predicate of ∘a over A,B (A,C for r-asscom) and that of
+    ∘b over B,C (A,C for l-asscom), all predicates strong on every
+    referenced table (the standing assumption of Section 5.2).
+
+    The tables below are {e derived empirically} by executing both
+    sides of each identity over hundreds of random instances
+    (tools/derive_properties.ml regenerates them; test_conflicts re-verifies them on
+    every run) and coincide with the published tables: ASSOC holds for
+    the inner join with every non-full-outer partner and within the
+    outer-join family; L-ASSCOM holds for every pair of left-linear
+    operators; R-ASSCOM only for ⋈/⋈ and ⟗/⟗. *)
+
+val assoc : Relalg.Operator.t -> Relalg.Operator.t -> bool
+(** Kind-level (dependent variants behave like their regular
+    counterparts). *)
+
+val l_asscom : Relalg.Operator.t -> Relalg.Operator.t -> bool
+
+val r_asscom : Relalg.Operator.t -> Relalg.Operator.t -> bool
+
+val assoc_kind : Relalg.Operator.kind -> Relalg.Operator.kind -> bool
+
+val l_asscom_kind : Relalg.Operator.kind -> Relalg.Operator.kind -> bool
+
+val r_asscom_kind : Relalg.Operator.kind -> Relalg.Operator.kind -> bool

@@ -1,0 +1,71 @@
+module Ns = Nodeset.Node_set
+module Ot = Relalg.Optree
+module Op = Relalg.Operator
+module P = Relalg.Predicate
+
+(* Does a row whose [padded] tables are all NULL get eliminated by
+   this one ancestor?  [side] says which argument of the ancestor the
+   row flows through. *)
+let kills (op : Op.t) side pred padded =
+  let strong = Ns.exists (fun t -> P.is_strong_wrt pred t) padded in
+  strong
+  &&
+  match op.Op.kind, side with
+  | Op.Inner, _ -> true
+  | Op.Left_semi, _ -> true
+  | (Op.Left_outer | Op.Left_anti | Op.Left_nest), `FromRight ->
+      (* failing rows contribute no matches; removing them from the
+         right side leaves matches, padding and groups unchanged *)
+      true
+  | (Op.Left_outer | Op.Left_anti | Op.Left_nest), `FromLeft ->
+      (* the left side is preserved (or kept on non-match): failing
+         rows survive *)
+      false
+  | Op.Full_outer, _ -> false
+
+let padding_killed ~ancestors padded =
+  List.exists (fun (op, side, pred) -> kills op side pred padded) ancestors
+
+let one_pass tree =
+  let changed = ref false in
+  let rec go ancestors = function
+    | Ot.Leaf _ as l -> l
+    | Ot.Node n ->
+        let lt = Ot.tables n.left and rt = Ot.tables n.right in
+        let op' =
+          match n.op.Op.kind with
+          | Op.Left_outer when padding_killed ~ancestors rt ->
+              changed := true;
+              { n.op with Op.kind = Op.Inner }
+          | Op.Full_outer ->
+              let left_killed = padding_killed ~ancestors lt in
+              let right_killed = padding_killed ~ancestors rt in
+              if left_killed && right_killed then begin
+                changed := true;
+                { n.op with Op.kind = Op.Inner }
+              end
+              else if left_killed then begin
+                changed := true;
+                { n.op with Op.kind = Op.Left_outer }
+              end
+              else n.op
+          | Op.Inner | Op.Left_outer | Op.Left_semi | Op.Left_anti
+          | Op.Left_nest ->
+              n.op
+        in
+        let here = (op', `FromLeft, n.pred) in
+        let left = go (here :: ancestors) n.left in
+        let right = go ((op', `FromRight, n.pred) :: ancestors) n.right in
+        Ot.Node { n with op = op'; left; right }
+  in
+  let t = go [] tree in
+  (t, !changed)
+
+let simplify tree =
+  let rec fix t n =
+    if n = 0 then t
+    else
+      let t', changed = one_pass t in
+      if changed then fix t' (n - 1) else t'
+  in
+  fix tree (Ot.num_ops tree + 1)

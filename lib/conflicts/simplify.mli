@@ -1,0 +1,38 @@
+(** Outer-join simplification (Galindo-Legaria & Rosenthal; the
+    paper's references [2] and [11]).
+
+    Section 5.2: "we assume that all proposed simplifications have
+    been applied.  This is a typical assumption."  The conflict rules
+    are only sound on simplified trees — e.g. an inner join above a
+    left outer join whose predicate is strong on the padded side
+    implies the outer join degenerates to an inner join; without that
+    rewrite the optimizer would consider reorderings that are invalid
+    for the unsimplified tree.
+
+    The rewrite: an operator that pads a side [S] with NULLs loses its
+    padding when some ancestor predicate is {e strong} w.r.t. a table
+    of [S] {e and} rows failing that ancestor's predicate are
+    eliminated from the result (which depends on the ancestor's kind
+    and on which side of it we sit — e.g. failing rows survive on the
+    preserved side of an outer join but die under an inner join or
+    semijoin).  Concretely:
+
+    - left outer join with killed right padding → inner join;
+    - full outer join with killed left padding → left outer join,
+      with both killed → inner join (the mirrored right-outer case is
+      deliberately left unsimplified to preserve leaf order).
+
+    The pass iterates to a fixpoint, because upgrading an operator to
+    an inner join can unlock simplifications below it. *)
+
+val simplify : Relalg.Optree.t -> Relalg.Optree.t
+(** Semantics-preserving; the result has the same leaves in the same
+    order. *)
+
+val padding_killed :
+  ancestors:
+    (Relalg.Operator.t * [ `FromLeft | `FromRight ] * Relalg.Predicate.t) list ->
+  Nodeset.Node_set.t ->
+  bool
+(** Would rows whose given tables are all NULL be eliminated by the
+    ancestor chain (innermost first)?  Exposed for unit tests. *)

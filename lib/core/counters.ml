@@ -1,0 +1,29 @@
+type t = {
+  mutable pairs_considered : int;
+  mutable ccp_emitted : int;
+  mutable cost_calls : int;
+  mutable filter_rejected : int;
+  mutable neighborhood_calls : int;
+}
+
+let create () =
+  {
+    pairs_considered = 0;
+    ccp_emitted = 0;
+    cost_calls = 0;
+    filter_rejected = 0;
+    neighborhood_calls = 0;
+  }
+
+let reset t =
+  t.pairs_considered <- 0;
+  t.ccp_emitted <- 0;
+  t.cost_calls <- 0;
+  t.filter_rejected <- 0;
+  t.neighborhood_calls <- 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "pairs=%d ccp=%d cost-calls=%d filtered=%d neighborhoods=%d"
+    t.pairs_considered t.ccp_emitted t.cost_calls t.filter_rejected
+    t.neighborhood_calls

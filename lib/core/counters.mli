@@ -1,0 +1,30 @@
+(** Machine-independent work counters.
+
+    The paper's central argument is about {e how much work} each
+    enumeration strategy does: DPhyp touches exactly the csg-cmp-pairs
+    while DPsize and DPsub burn their time on candidate pairs that
+    fail the [( * )] tests of Figure 1.  Every algorithm in this library
+    maintains one of these records so benchmarks can report the
+    counters next to wall-clock time. *)
+
+type t = {
+  mutable pairs_considered : int;
+      (** candidate pairs examined, including ones failing the
+          disjointness/connectivity/filter tests *)
+  mutable ccp_emitted : int;
+      (** csg-cmp-pairs that reached plan construction (EmitCsgCmp);
+          for DPhyp this equals the number of csg-cmp-pairs when no
+          filter rejects *)
+  mutable cost_calls : int;
+      (** plans actually costed (commutative operators cost two) *)
+  mutable filter_rejected : int;
+      (** pairs rejected by an external validity filter (the
+          TES-generate-and-test mode of Section 5.8) *)
+  mutable neighborhood_calls : int;  (** N(S,X) evaluations (DPhyp) *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,93 @@
+module Ns = Nodeset.Node_set
+module Se = Nodeset.Subset_enum
+module G = Hypergraph.Graph
+
+type ctx = {
+  g : G.t;
+  dp : Plans.Dp_table.t;
+  counters : Counters.t;
+  emit : Ns.t -> Ns.t -> unit;
+}
+
+(* Simple-graph neighborhood: union of adjacencies minus S and X. *)
+let neighborhood c s x =
+  c.counters.Counters.neighborhood_calls <-
+    c.counters.Counters.neighborhood_calls + 1;
+  let nb = Ns.fold (fun v acc -> Ns.union acc (G.simple_neighbors c.g v)) s Ns.empty in
+  Ns.diff nb (Ns.union s x)
+
+let connected c s1 s2 =
+  Ns.exists (fun v -> Ns.intersects (G.simple_neighbors c.g v) s2) s1
+
+let rec enumerate_cmp_rec c s1 s2 x =
+  let n = neighborhood c s2 x in
+  if not (Ns.is_empty n) then begin
+    Se.iter_nonempty n (fun sub ->
+        let s2' = Ns.union s2 sub in
+        c.counters.Counters.pairs_considered <-
+          c.counters.Counters.pairs_considered + 1;
+        if Plans.Dp_table.mem c.dp s2' && connected c s1 s2' then
+          c.emit s1 s2');
+    let x' = Ns.union x n in
+    Se.iter_nonempty n (fun sub -> enumerate_cmp_rec c s1 (Ns.union s2 sub) x')
+  end
+
+let emit_csg c s1 =
+  let x = Ns.union s1 (Ns.upto (Ns.min_elt s1)) in
+  let n = neighborhood c s1 x in
+  Ns.iter_desc
+    (fun v ->
+      let s2 = Ns.singleton v in
+      c.counters.Counters.pairs_considered <-
+        c.counters.Counters.pairs_considered + 1;
+      if connected c s1 s2 then c.emit s1 s2;
+      enumerate_cmp_rec c s1 s2 (Ns.union x (Ns.inter n (Ns.upto v))))
+    n
+
+let rec enumerate_csg_rec c s1 x =
+  let n = neighborhood c s1 x in
+  if not (Ns.is_empty n) then begin
+    Se.iter_nonempty n (fun sub ->
+        let s1' = Ns.union s1 sub in
+        if Plans.Dp_table.mem c.dp s1' then emit_csg c s1');
+    let x' = Ns.union x n in
+    Se.iter_nonempty n (fun sub -> enumerate_csg_rec c (Ns.union s1 sub) x')
+  end
+
+let check_simple g =
+  if G.has_hyperedges g then
+    invalid_arg "Dpccp: graph has hyperedges; use Dphyp"
+
+let run ~emit ~counters g dp =
+  check_simple g;
+  let c = { g; dp; counters; emit } in
+  let n = G.num_nodes g in
+  for v = 0 to n - 1 do
+    Plans.Dp_table.force dp (Plans.Plan.scan g v)
+  done;
+  for v = n - 1 downto 0 do
+    let s = Ns.singleton v in
+    emit_csg c s;
+    enumerate_csg_rec c s (Ns.upto v)
+  done
+
+let solve_with_table ?(model = Costing.Cost_model.c_out)
+    ?(counters = Counters.create ()) g =
+  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let e = Emit.make ~model ~counters g dp in
+  run ~emit:(Emit.emit_pair e) ~counters g dp;
+  (dp, Plans.Dp_table.find dp (G.all_nodes g))
+
+let solve ?model ?counters g = snd (solve_with_table ?model ?counters g)
+
+let enumerate_ccps g =
+  let counters = Counters.create () in
+  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let e = Emit.make ~model:Costing.Cost_model.c_out ~counters g dp in
+  let trace = ref [] in
+  let emit s1 s2 =
+    trace := (s1, s2) :: !trace;
+    Emit.emit_pair e s1 s2
+  in
+  run ~emit ~counters g dp;
+  List.rev !trace

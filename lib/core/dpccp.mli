@@ -1,0 +1,28 @@
+(** DPccp — the predecessor algorithm (Moerkotte & Neumann, VLDB 2006)
+    for {e simple} query graphs.
+
+    Structurally identical to DPhyp but with the trivial neighborhood
+    of ordinary graphs (union of adjacency lists minus the forbidden
+    set).  Kept as an independent implementation for two reasons: it
+    documents exactly what DPhyp generalizes, and Section 4.4's claim
+    that "DPhyp performs exactly like DPccp on regular graphs" becomes
+    a testable property — both must emit the same csg-cmp-pairs and
+    return plans of equal cost on any hyperedge-free graph.
+
+    @raise Invalid_argument if the graph contains a non-simple edge. *)
+
+val solve :
+  ?model:Costing.Cost_model.t ->
+  ?counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  Plans.Plan.t option
+
+val solve_with_table :
+  ?model:Costing.Cost_model.t ->
+  ?counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  Plans.Dp_table.t * Plans.Plan.t option
+
+val enumerate_ccps :
+  Hypergraph.Graph.t -> (Nodeset.Node_set.t * Nodeset.Node_set.t) list
+(** Emission trace, as in {!Dphyp.enumerate_ccps}. *)

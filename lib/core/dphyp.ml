@@ -1,0 +1,102 @@
+module Ns = Nodeset.Node_set
+module Se = Nodeset.Subset_enum
+module G = Hypergraph.Graph
+
+(* The five member functions of Section 3, parameterized over the
+   emission action so that plan construction and pure enumeration
+   share one code path.  [emit s1 s2] must install a dpTable entry for
+   s1 ∪ s2 when (s1, s2) is a csg-cmp-pair — the connectivity tests
+   below are dpTable lookups, per the paper. *)
+
+type ctx = {
+  g : G.t;
+  dp : Plans.Dp_table.t;
+  counters : Counters.t;
+  emit : Ns.t -> Ns.t -> unit;
+}
+
+let neighborhood c s x =
+  c.counters.Counters.neighborhood_calls <-
+    c.counters.Counters.neighborhood_calls + 1;
+  G.neighborhood c.g s x
+
+(* EnumerateCmpRec(S1, S2, X): extend the complement seed S2 until it
+   connects to S1; emit on every connected extension that has a
+   dpTable entry, then recurse.  (Pseudocode fix: one neighborhood, X
+   grows by N only for the recursion.) *)
+let rec enumerate_cmp_rec c s1 s2 x =
+  let n = neighborhood c s2 x in
+  if not (Ns.is_empty n) then begin
+    Se.iter_nonempty n (fun sub ->
+        let s2' = Ns.union s2 sub in
+        c.counters.Counters.pairs_considered <-
+          c.counters.Counters.pairs_considered + 1;
+        if Plans.Dp_table.mem c.dp s2' && G.connects c.g s1 s2' then
+          c.emit s1 s2');
+    let x' = Ns.union x n in
+    Se.iter_nonempty n (fun sub -> enumerate_cmp_rec c s1 (Ns.union s2 sub) x')
+  end
+
+(* EmitCsg(S1): find all complement seeds in the neighborhood of S1,
+   excluding everything at or below min(S1); seeds are processed in
+   descending node order, and each EnumerateCmpRec call forbids the
+   seeds that are still to come below it (B_v(N)) so each complement
+   is grown from its smallest contained neighbor only. *)
+let emit_csg c s1 =
+  let x = Ns.union s1 (Ns.upto (Ns.min_elt s1)) in
+  let n = neighborhood c s1 x in
+  Ns.iter_desc
+    (fun v ->
+      let s2 = Ns.singleton v in
+      c.counters.Counters.pairs_considered <-
+        c.counters.Counters.pairs_considered + 1;
+      if G.connects c.g s1 s2 then c.emit s1 s2;
+      enumerate_cmp_rec c s1 s2 (Ns.union x (Ns.inter n (Ns.upto v))))
+    n
+
+(* EnumerateCsgRec(S1, X): grow the connected subgraph S1; every
+   extension with a dpTable entry (i.e. connected) is a new csg to
+   find complements for. *)
+let rec enumerate_csg_rec c s1 x =
+  let n = neighborhood c s1 x in
+  if not (Ns.is_empty n) then begin
+    Se.iter_nonempty n (fun sub ->
+        let s1' = Ns.union s1 sub in
+        if Plans.Dp_table.mem c.dp s1' then emit_csg c s1');
+    let x' = Ns.union x n in
+    Se.iter_nonempty n (fun sub -> enumerate_csg_rec c (Ns.union s1 sub) x')
+  end
+
+let run ~emit ~counters g dp =
+  let c = { g; dp; counters; emit } in
+  let n = G.num_nodes g in
+  for v = 0 to n - 1 do
+    Plans.Dp_table.force dp (Plans.Plan.scan g v)
+  done;
+  for v = n - 1 downto 0 do
+    let s = Ns.singleton v in
+    emit_csg c s;
+    enumerate_csg_rec c s (Ns.upto v)
+  done
+
+let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter
+    ?(counters = Counters.create ()) g =
+  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let e = Emit.make ?filter ~model ~counters g dp in
+  run ~emit:(Emit.emit_pair e) ~counters g dp;
+  (dp, Plans.Dp_table.find dp (G.all_nodes g))
+
+let solve ?model ?filter ?counters g =
+  snd (solve_with_table ?model ?filter ?counters g)
+
+let enumerate_ccps g =
+  let counters = Counters.create () in
+  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let e = Emit.make ~model:Costing.Cost_model.c_out ~counters g dp in
+  let trace = ref [] in
+  let emit s1 s2 =
+    trace := (s1, s2) :: !trace;
+    Emit.emit_pair e s1 s2
+  in
+  run ~emit ~counters g dp;
+  List.rev !trace

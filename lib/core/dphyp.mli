@@ -1,0 +1,48 @@
+(** DPhyp — the paper's core contribution (Section 3).
+
+    Enumerates exactly the csg-cmp-pairs of a (generalized) query
+    hypergraph in an order valid for dynamic programming: connected
+    subgraphs grow from each node by recursively adding subsets of the
+    current neighborhood [N(S, X)], with exclusion sets preventing
+    duplicate enumeration; complements grow the same way starting from
+    the neighborhood seeds of the finished csg.
+
+    Two deliberate corrections to the paper's pseudocode, both
+    documented in DESIGN.md: [EnumerateCmpRec] computes its
+    neighborhood once and recurses with [X ∪ N] (the printed version
+    would recurse over an empty neighborhood), and [EmitCsg] grows the
+    exclusion set with the already-considered seeds before each
+    [EnumerateCmpRec] call (otherwise complements containing several
+    neighbors are emitted once per contained neighbor). *)
+
+val solve :
+  ?model:Costing.Cost_model.t ->
+  ?filter:Emit.filter ->
+  ?counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  Plans.Plan.t option
+(** Optimize the query; [None] if no complete plan exists (possible
+    only for disconnected graphs — see
+    {!Hypergraph.Graph.ensure_connected} — or when a filter rejects
+    every decomposition of the full set).  Defaults: C_out model, no
+    filter, fresh counters. *)
+
+val solve_with_table :
+  ?model:Costing.Cost_model.t ->
+  ?filter:Emit.filter ->
+  ?counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  Plans.Dp_table.t * Plans.Plan.t option
+(** Like {!solve} but also returns the full DP table (for inspection
+    of all connected subgraphs and their best plans). *)
+
+val enumerate_ccps :
+  Hypergraph.Graph.t ->
+  (Nodeset.Node_set.t * Nodeset.Node_set.t) list
+(** Run the algorithm and report every csg-cmp-pair in emission order
+    (the trace of Figure 3).  Pairs come out canonical —
+    [min S1 < min S2] holds because complements only ever grow from
+    neighborhood seeds above [min S1].  Tests compare this list (as a
+    set, and for duplicates) against
+    {!Hypergraph.Csg_enum.csg_cmp_pairs}, and check the
+    subsets-before-supersets DP ordering on it. *)

@@ -1,0 +1,33 @@
+module Ns = Nodeset.Node_set
+module G = Hypergraph.Graph
+
+let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter
+    ?(counters = Counters.create ()) g =
+  let n = G.num_nodes g in
+  let dp = Plans.Dp_table.create n in
+  let e = Emit.make ?filter ~model ~counters g dp in
+  for v = 0 to n - 1 do
+    Plans.Dp_table.force dp (Plans.Plan.scan g v)
+  done;
+  (* All subsets of V in increasing numeric order; subsets precede
+     supersets, so dpTable membership of the halves is a sound
+     connectivity test. *)
+  let full = Ns.to_int (G.all_nodes g) in
+  for s = 3 to full do
+    let set = Ns.unsafe_of_int s in
+    if Ns.cardinal set >= 2 then
+      (* S1 visits every non-empty proper subset of S; both directions
+         of each unordered split occur, so emission is directed. *)
+      Nodeset.Subset_enum.iter_proper_nonempty set (fun s1 ->
+          let s2 = Ns.diff set s1 in
+          counters.Counters.pairs_considered <-
+            counters.Counters.pairs_considered + 1;
+          if
+            Plans.Dp_table.mem dp s1 && Plans.Dp_table.mem dp s2
+            && G.connects g s1 s2
+          then Emit.emit_directed e s1 s2)
+  done;
+  (dp, Plans.Dp_table.find dp (G.all_nodes g))
+
+let solve ?model ?filter ?counters g =
+  snd (solve_with_table ?model ?filter ?counters g)

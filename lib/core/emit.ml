@@ -1,0 +1,193 @@
+module Ns = Nodeset.Node_set
+module Bs = Nodeset.Bitset
+module G = Hypergraph.Graph
+module He = Hypergraph.Hyperedge
+
+type filter = Ns.t -> Ns.t -> (He.t * He.orientation) list -> bool
+
+type t = {
+  g : G.t;
+  model : Costing.Cost_model.t;
+  dp : Plans.Dp_table.t;
+  counters : Counters.t;
+  filter : filter option;
+}
+
+let make ?filter ~model ~counters g dp = { g; model; dp; counters; filter }
+
+let applicable_op edges =
+  let non_inner =
+    List.filter
+      (fun ((e : He.t), _) -> e.op.Relalg.Operator.kind <> Relalg.Operator.Inner)
+      edges
+  in
+  match non_inner with
+  | [] -> `Inner
+  | [ (e, o) ] -> `Op (e, o)
+  | _ :: _ :: _ -> `Ambiguous
+
+type pair_info = {
+  edge_ids : int list;  (** connecting plus pending edges *)
+  sel : float;
+  resolution : [ `Inner | `Op of He.t * He.orientation ];
+  connecting : (He.t * He.orientation) list;
+}
+
+(* Pending edges: predicates all of whose relations are assembled by
+   this join but which no aligned (u ⊆ one side, v ⊆ other side) cut
+   ever applied.  The paper's model leaves them silently dropped; a
+   real optimizer must evaluate every predicate exactly once, so we
+   conjoin pending inner predicates as filters at the first covering
+   join.  A pending NON-inner edge cannot be recovered by filtering —
+   the decomposition is invalid and the pair is rejected. *)
+let resolve g (p1 : Plans.Plan.t) (p2 : Plans.Plan.t) =
+  match G.connecting_edges g p1.set p2.set with
+  | [] -> None
+  | connecting -> (
+      let both = Ns.union p1.set p2.set in
+      let already = Bs.union p1.applied p2.applied in
+      let is_connecting (e : He.t) =
+        List.exists (fun ((c : He.t), _) -> c.id = e.id) connecting
+      in
+      let pending =
+        Array.fold_left
+          (fun acc (e : He.t) ->
+            if
+              (not (Bs.mem e.id already))
+              && (not (is_connecting e))
+              && Ns.subset (He.covers e) both
+            then e :: acc
+            else acc)
+          [] (G.edges g)
+      in
+      if
+        List.exists
+          (fun (e : He.t) -> e.op.Relalg.Operator.kind <> Relalg.Operator.Inner)
+          pending
+      then None
+      else
+        match applicable_op connecting with
+        | `Ambiguous -> None
+        | (`Inner | `Op _) as resolution ->
+            let sel =
+              Costing.Cardinality.selectivity_product connecting
+              *. List.fold_left (fun s (e : He.t) -> s *. e.sel) 1.0 pending
+            in
+            let edge_ids =
+              List.map (fun ((e : He.t), _) -> e.id) connecting
+              @ List.rev_map (fun (e : He.t) -> e.id) pending
+            in
+            Some { edge_ids; sel; resolution; connecting })
+
+(* Build [left op right] if the orientation is evaluable; applies the
+   dependent switch of Section 5.6 and rejects orientations whose left
+   argument depends on the right one. *)
+let build_one ~g ~(model : Costing.Cost_model.t) ~counters ~op ~edge_ids ~sel
+    (left : Plans.Plan.t) (right : Plans.Plan.t) =
+  let out (p : Plans.Plan.t) = Ns.diff (G.free_of g p.set) p.set in
+  let fl = out left and fr = out right in
+  if Ns.intersects fl right.set then None
+  else
+    let op =
+      if Ns.intersects fr left.set then
+        if op.Relalg.Operator.kind = Relalg.Operator.Full_outer then None
+        else Some (Relalg.Operator.to_dependent op)
+      else Some op
+    in
+    match op with
+    | None -> None
+    | Some op ->
+        counters.Counters.cost_calls <- counters.Counters.cost_calls + 1;
+        Some (Plans.Plan.join model ~op ~edge_ids ~sel left right)
+
+(* All valid plans for a resolved pair: both argument orders for
+   commutative operators, the edge-dictated order otherwise. *)
+let candidates ~model ~counters g (p1 : Plans.Plan.t) (p2 : Plans.Plan.t) =
+  match resolve g p1 p2 with
+  | None -> []
+  | Some { edge_ids; sel; resolution; _ } ->
+      let mk l r op = build_one ~g ~model ~counters ~op ~edge_ids ~sel l r in
+      let opts =
+        match resolution with
+        | `Inner ->
+            [ mk p1 p2 Relalg.Operator.join; mk p2 p1 Relalg.Operator.join ]
+        | `Op (e, orientation) ->
+            let left, right =
+              match orientation with
+              | He.Forward -> (p1, p2)
+              | He.Backward -> (p2, p1)
+            in
+            mk left right e.op
+            ::
+            (if Relalg.Operator.commutative e.op then [ mk right left e.op ]
+             else [])
+      in
+      List.filter_map Fun.id opts
+
+let try_build t ~op ~edge_ids ~sel (left : Plans.Plan.t) (right : Plans.Plan.t) =
+  match
+    build_one ~g:t.g ~model:t.model ~counters:t.counters ~op ~edge_ids ~sel
+      left right
+  with
+  | None -> ()
+  | Some plan -> ignore (Plans.Dp_table.update t.dp plan)
+
+let passes_filter t s1 s2 edges =
+  match t.filter with
+  | None -> true
+  | Some f ->
+      if f s1 s2 edges then true
+      else begin
+        t.counters.Counters.filter_rejected <-
+          t.counters.Counters.filter_rejected + 1;
+        false
+      end
+
+let plans_of t s1 s2 =
+  match Plans.Dp_table.find t.dp s1, Plans.Dp_table.find t.dp s2 with
+  | Some p1, Some p2 -> Some (p1, p2)
+  | _ -> None
+
+let emit_pair t s1 s2 =
+  match plans_of t s1 s2 with
+  | None -> ()
+  | Some (p1, p2) -> (
+      match resolve t.g p1 p2 with
+      | None -> ()
+      | Some info when passes_filter t s1 s2 info.connecting -> (
+          t.counters.Counters.ccp_emitted <- t.counters.Counters.ccp_emitted + 1;
+          let { edge_ids; sel; resolution; _ } = info in
+          match resolution with
+          | `Inner ->
+              let op = Relalg.Operator.join in
+              try_build t ~op ~edge_ids ~sel p1 p2;
+              try_build t ~op ~edge_ids ~sel p2 p1
+          | `Op (e, orientation) ->
+              let left, right =
+                match orientation with
+                | He.Forward -> (p1, p2)
+                | He.Backward -> (p2, p1)
+              in
+              try_build t ~op:e.op ~edge_ids ~sel left right;
+              if Relalg.Operator.commutative e.op then
+                try_build t ~op:e.op ~edge_ids ~sel right left)
+      | Some _rejected -> ())
+
+let emit_directed t s1 s2 =
+  match plans_of t s1 s2 with
+  | None -> ()
+  | Some (p1, p2) -> (
+      match resolve t.g p1 p2 with
+      | None -> ()
+      | Some info when passes_filter t s1 s2 info.connecting -> (
+          t.counters.Counters.ccp_emitted <- t.counters.Counters.ccp_emitted + 1;
+          let { edge_ids; sel; resolution; _ } = info in
+          match resolution with
+          | `Inner -> try_build t ~op:Relalg.Operator.join ~edge_ids ~sel p1 p2
+          | `Op (e, He.Forward) -> try_build t ~op:e.op ~edge_ids ~sel p1 p2
+          | `Op (e, He.Backward) ->
+              (* the edge's left side lives in s2: only a commutative
+                 operator may still put s1 on the left *)
+              if Relalg.Operator.commutative e.op then
+                try_build t ~op:e.op ~edge_ids ~sel p1 p2)
+      | Some _rejected -> ())

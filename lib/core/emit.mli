@@ -1,0 +1,91 @@
+(** EmitCsgCmp (Section 3.5): turn a csg-cmp-pair into plans.
+
+    Shared by every enumeration strategy in this library.  Given a
+    pair of disjoint connected sets, it collects the connecting
+    hyperedges, conjoins their predicates (selectivities multiply
+    under independence), recovers the operator associated with the
+    edge (Section 5.4), switches it to its dependent counterpart when
+    [FT(P2) ∩ S1 ≠ ∅] (Section 5.6), costs the candidate plans and
+    updates the DP table.
+
+    Commutativity handling follows Section 2.2: the enumerators
+    produce each pair once, so for commutative operators this module
+    costs both argument orders. *)
+
+type filter =
+  Nodeset.Node_set.t ->
+  Nodeset.Node_set.t ->
+  (Hypergraph.Hyperedge.t * Hypergraph.Hyperedge.orientation) list ->
+  bool
+(** Extra validity test applied before plan construction — the
+    TES-generate-and-test mode of Section 5.8 plugs in here.  Receives
+    the pair ordered as given to {!emit_pair} and its connecting
+    edges. *)
+
+type t
+(** Emission context: graph, cost model, DP table, counters, filter. *)
+
+val make :
+  ?filter:filter ->
+  model:Costing.Cost_model.t ->
+  counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  Plans.Dp_table.t ->
+  t
+
+val emit_pair : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> unit
+(** Canonical emission for symmetric enumerators (DPhyp, DPccp): the
+    pair is unordered; both argument orders are tried for commutative
+    operators, and the operator's own orientation (which side is the
+    hyperedge's [u]) decides the order for non-commutative ones.
+    No-op if no edge connects the pair. *)
+
+val emit_directed : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> unit
+(** Directed emission for ordered enumerators (DPsize, DPsub, naive
+    top-down): builds only plans with the first argument on the left,
+    exactly like Figure 1's [dpTable[S1] B dpTable[S2]]; the symmetric
+    candidate arises when the loop visits the swapped pair.  No-op if
+    no edge supports this direction. *)
+
+val applicable_op :
+  (Hypergraph.Hyperedge.t * Hypergraph.Hyperedge.orientation) list ->
+  [ `Inner
+  | `Op of Hypergraph.Hyperedge.t * Hypergraph.Hyperedge.orientation
+  | `Ambiguous ]
+(** Operator resolution: all-inner edges conjoin into a plain join;
+    exactly one non-inner edge dictates operator and orientation; two
+    or more non-inner edges connecting the same pair cannot be
+    combined and the pair is skipped ([`Ambiguous] — does not occur
+    for hypergraphs derived from well-formed operator trees). *)
+
+type pair_info = {
+  edge_ids : int list;
+      (** connecting edges plus pending (covered, unapplied) edges *)
+  sel : float;  (** combined selectivity of all applied predicates *)
+  resolution : [ `Inner | `Op of Hypergraph.Hyperedge.t * Hypergraph.Hyperedge.orientation ];
+  connecting : (Hypergraph.Hyperedge.t * Hypergraph.Hyperedge.orientation) list;
+}
+
+val resolve :
+  Hypergraph.Graph.t -> Plans.Plan.t -> Plans.Plan.t -> pair_info option
+(** Full resolution of a candidate pair: connecting edges, operator
+    recovery, and the pending-predicate rule — a predicate whose
+    relations are all assembled by this join but which no aligned cut
+    ever applied is conjoined here as a filter (plans track applied
+    edges for this purpose); if such a pending edge carries a
+    non-inner operator the decomposition is invalid and [None] is
+    returned.  Shared by the DP emitters, GOO and top-down search. *)
+
+val candidates :
+  model:Costing.Cost_model.t ->
+  counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  Plans.Plan.t ->
+  Plans.Plan.t ->
+  Plans.Plan.t list
+(** Every valid plan for the (unordered) pair: pair resolution via
+    {!resolve}, dependent switching per Section 5.6, both argument
+    orders for commutative operators.  Empty when no edge connects the
+    pair or every orientation is invalid.  Used by the algorithms that
+    keep their own best-plan state (GOO, top-down search) instead of a
+    DP table. *)

@@ -1,0 +1,18 @@
+(** GOO — greedy operator ordering (Fegaras-style), as a heuristic
+    yardstick.
+
+    Not part of the paper's evaluation; included so the benchmark
+    suite can report how far greedy plans are from the DP optimum
+    (experiment X4 in DESIGN.md).  Repeatedly joins the pair of
+    current components connected by a hyperedge whose estimated
+    result cardinality is smallest; falls back to the cheapest
+    cross-product merge when no edge applies (which cannot happen on
+    the connected inner-join graphs of the paper's workloads). *)
+
+val solve :
+  ?model:Costing.Cost_model.t ->
+  ?counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  Plans.Plan.t option
+(** Always returns [Some] for non-empty graphs; the plan respects
+    hyperedge sides and operator orientation but is merely greedy. *)

@@ -1,0 +1,65 @@
+type algorithm = Dphyp | Dpsize | Dpsub | Dpccp | Goo | Topdown | Tdpart
+
+let all = [ Dphyp; Dpsize; Dpsub; Dpccp; Goo; Topdown; Tdpart ]
+
+let name = function
+  | Dphyp -> "dphyp"
+  | Dpsize -> "dpsize"
+  | Dpsub -> "dpsub"
+  | Dpccp -> "dpccp"
+  | Goo -> "goo"
+  | Topdown -> "topdown"
+  | Tdpart -> "tdpart"
+
+let of_name = function
+  | "dphyp" -> Some Dphyp
+  | "dpsize" -> Some Dpsize
+  | "dpsub" -> Some Dpsub
+  | "dpccp" -> Some Dpccp
+  | "goo" -> Some Goo
+  | "topdown" -> Some Topdown
+  | "tdpart" -> Some Tdpart
+  | _ -> None
+
+let supports_filter = function
+  | Dphyp | Dpsize | Dpsub -> true
+  | Dpccp | Goo | Topdown | Tdpart -> false
+
+let exact = function
+  | Dphyp | Dpsize | Dpsub | Dpccp | Topdown | Tdpart -> true
+  | Goo -> false
+
+type result = {
+  plan : Plans.Plan.t option;
+  counters : Counters.t;
+  dp_entries : int;
+}
+
+let run ?model ?filter algo g =
+  if filter <> None && not (supports_filter algo) then
+    invalid_arg
+      (Printf.sprintf "Optimizer.run: %s does not support a validity filter"
+         (name algo));
+  let counters = Counters.create () in
+  match algo with
+  | Dphyp ->
+      let dp, plan = Dphyp.solve_with_table ?model ?filter ~counters g in
+      { plan; counters; dp_entries = Plans.Dp_table.size dp }
+  | Dpsize ->
+      let dp, plan = Dpsize.solve_with_table ?model ?filter ~counters g in
+      { plan; counters; dp_entries = Plans.Dp_table.size dp }
+  | Dpsub ->
+      let dp, plan = Dpsub.solve_with_table ?model ?filter ~counters g in
+      { plan; counters; dp_entries = Plans.Dp_table.size dp }
+  | Dpccp ->
+      let dp, plan = Dpccp.solve_with_table ?model ~counters g in
+      { plan; counters; dp_entries = Plans.Dp_table.size dp }
+  | Goo ->
+      let plan = Goo.solve ?model ~counters g in
+      { plan; counters; dp_entries = 0 }
+  | Topdown ->
+      let plan = Top_down.solve ?model ~counters g in
+      { plan; counters; dp_entries = 0 }
+  | Tdpart ->
+      let plan = Top_down_partition.solve ?model ~counters g in
+      { plan; counters; dp_entries = 0 }

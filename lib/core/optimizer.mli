@@ -1,0 +1,36 @@
+(** Uniform driver over all join-ordering algorithms.
+
+    Benchmarks, tests and the CLI all go through this module so that
+    every algorithm is invoked and measured identically. *)
+
+type algorithm = Dphyp | Dpsize | Dpsub | Dpccp | Goo | Topdown | Tdpart
+
+val all : algorithm list
+
+val name : algorithm -> string
+
+val of_name : string -> algorithm option
+
+val supports_filter : algorithm -> bool
+(** Only the DP algorithms accept an external validity filter
+    (TES-generate-and-test mode). *)
+
+val exact : algorithm -> bool
+(** Does the algorithm guarantee the optimal plan (everything except
+    GOO)? *)
+
+type result = {
+  plan : Plans.Plan.t option;
+  counters : Counters.t;
+  dp_entries : int;  (** size of the DP/memo table, 0 if none kept *)
+}
+
+val run :
+  ?model:Costing.Cost_model.t ->
+  ?filter:Emit.filter ->
+  algorithm ->
+  Hypergraph.Graph.t ->
+  result
+(** Run one algorithm on one query graph.  @raise Invalid_argument
+    when [Dpccp] is given a hypergraph with non-simple edges, or a
+    [filter] is passed to an algorithm that does not support one. *)

@@ -1,0 +1,24 @@
+(** Uniform-ish sampling of valid plans from the search space.
+
+    Builds a plan by recursively picking a random csg-cmp
+    decomposition of each connected set (and a random operator order
+    among the valid candidates).  Exponential in the worst case — a
+    testing utility, not an optimizer: the optimality property tests
+    check that no sampled plan ever beats the DP optimum, which
+    exercises the DP against the {e whole} space rather than only
+    against the other exact algorithms. *)
+
+val random_plan :
+  ?model:Costing.Cost_model.t ->
+  seed:int ->
+  Hypergraph.Graph.t ->
+  Plans.Plan.t option
+(** [None] when the graph admits no valid plan (disconnected, or every
+    decomposition is rejected by operator/dependence rules). *)
+
+val sample_costs :
+  ?model:Costing.Cost_model.t ->
+  seeds:int list ->
+  Hypergraph.Graph.t ->
+  float list
+(** Costs of the successfully sampled plans, one attempt per seed. *)

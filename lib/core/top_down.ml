@@ -1,0 +1,49 @@
+module Ns = Nodeset.Node_set
+module Se = Nodeset.Subset_enum
+module G = Hypergraph.Graph
+
+let solve ?(model = Costing.Cost_model.c_out) ?(counters = Counters.create ())
+    g =
+  let memo : (int, Plans.Plan.t option) Hashtbl.t = Hashtbl.create 1024 in
+  let combine best s1p s2p =
+    match Emit.candidates ~model ~counters g s1p s2p with
+    | [] -> ()
+    | cands ->
+        counters.Counters.ccp_emitted <- counters.Counters.ccp_emitted + 1;
+        List.iter
+          (fun (p : Plans.Plan.t) ->
+            match !best with
+            | Some (b : Plans.Plan.t) when b.cost <= p.cost -> ()
+            | _ -> best := Some p)
+          cands
+  in
+  let rec best_plan s =
+    match Hashtbl.find_opt memo (Ns.to_int s) with
+    | Some r -> r
+    | None ->
+        let result =
+          if Ns.is_singleton s then Some (Plans.Plan.scan g (Ns.min_elt s))
+          else begin
+            let best = ref None in
+            let rest = Ns.without_min s in
+            Se.iter_proper_nonempty rest (fun part ->
+                let s2 = part in
+                let s1 = Ns.diff s s2 in
+                counters.Counters.pairs_considered <-
+                  counters.Counters.pairs_considered + 1;
+                match best_plan s1, best_plan s2 with
+                | Some p1, Some p2 -> combine best p1 p2
+                | _ -> ());
+            (* the split s2 = rest itself (s1 = {min}) *)
+            counters.Counters.pairs_considered <-
+              counters.Counters.pairs_considered + 1;
+            (match best_plan (Ns.min_set s), best_plan rest with
+            | Some p1, Some p2 -> combine best p1 p2
+            | _ -> ());
+            !best
+          end
+        in
+        Hashtbl.replace memo (Ns.to_int s) result;
+        result
+  in
+  best_plan (G.all_nodes g)

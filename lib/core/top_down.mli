@@ -1,0 +1,16 @@
+(** Naive top-down memoization — the strawman the paper's introduction
+    describes: "all known [memoization] approaches needed tests
+    similar to those shown for DPsize" before DeHaan and Tompa's
+    partition search.
+
+    [best S] enumerates every split of [S] with [min S] pinned to the
+    first half, tests connectivity of the halves by recursion (memoized,
+    including negative results) and an edge between them, and keeps
+    the cheapest combination.  Exponentially many failing splits are
+    examined on sparse graphs, which is the point of benchmark X5. *)
+
+val solve :
+  ?model:Costing.Cost_model.t ->
+  ?counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  Plans.Plan.t option

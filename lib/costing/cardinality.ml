@@ -1,0 +1,14 @@
+let inner l r sel = Float.max 1.0 (l *. r *. sel)
+
+let estimate (op : Relalg.Operator.t) l r sel =
+  let ij = l *. r *. sel in
+  match op.kind with
+  | Relalg.Operator.Inner -> Float.max 1.0 ij
+  | Relalg.Operator.Left_outer -> Float.max ij l
+  | Relalg.Operator.Full_outer -> Float.max ij l +. Float.max (r -. ij) 0.0
+  | Relalg.Operator.Left_semi -> Float.max 1.0 (l *. Float.min 1.0 (sel *. r))
+  | Relalg.Operator.Left_anti -> Float.max 1.0 (l *. (1.0 -. Float.min 1.0 (sel *. r)))
+  | Relalg.Operator.Left_nest -> Float.max 1.0 l
+
+let selectivity_product edges =
+  List.fold_left (fun acc ((e : Hypergraph.Hyperedge.t), _) -> acc *. e.sel) 1.0 edges

@@ -1,0 +1,28 @@
+(** Cardinality estimation for the twelve operators of Section 5.1.
+
+    The classic independence model: an inner join of sizes [l] and [r]
+    under combined predicate selectivity [sel] produces [l·r·sel]
+    tuples.  The non-inner operators derive from it:
+
+    - left outer join: every left tuple survives — [max(inner, l)];
+    - full outer join: additionally every right tuple survives —
+      [max(inner, l) + max(r − inner, 0)];
+    - left semijoin:   [l · min(1, sel·r)] (probability a left tuple
+      finds at least one partner, linearized);
+    - left antijoin:   [l − semijoin], floored at 1 like the rest;
+    - nestjoin:        exactly [l] (one group per left tuple).
+
+    Dependent variants share their regular counterpart's estimate —
+    dependence changes evaluation strategy, not output size.  All
+    results are floored at 1.0 tuple so that C_out cost landscapes
+    never collapse to all-zero. *)
+
+val inner : float -> float -> float -> float
+(** [inner l r sel]. *)
+
+val estimate : Relalg.Operator.t -> float -> float -> float -> float
+(** [estimate op l r sel] — output cardinality of [l op_sel r]. *)
+
+val selectivity_product : (Hypergraph.Hyperedge.t * 'a) list -> float
+(** Combined selectivity of a set of connecting edges (independence
+    assumption: plain product). *)

@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  op_cost :
+    Relalg.Operator.t -> left_card:float -> right_card:float ->
+    out_card:float -> float;
+}
+
+let c_out =
+  {
+    name = "cout";
+    op_cost = (fun _op ~left_card:_ ~right_card:_ ~out_card -> out_card);
+  }
+
+let c_mm =
+  let build = 1.2 and probe = 1.0 in
+  {
+    name = "cmm";
+    op_cost =
+      (fun (op : Relalg.Operator.t) ~left_card ~right_card ~out_card ->
+        let hash = (build *. right_card) +. (probe *. left_card) +. out_card in
+        match op.kind with
+        | Relalg.Operator.Inner ->
+            Float.min hash ((left_card *. right_card) +. out_card)
+        | Relalg.Operator.Left_outer | Relalg.Operator.Full_outer
+        | Relalg.Operator.Left_semi | Relalg.Operator.Left_anti
+        | Relalg.Operator.Left_nest ->
+            hash);
+  }
+
+let by_name = function
+  | "cout" -> Some c_out
+  | "cmm" -> Some c_mm
+  | _ -> None

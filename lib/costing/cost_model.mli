@@ -1,0 +1,33 @@
+(** Cost models for plan comparison.
+
+    The paper hides cost computation behind an abstract [cost]
+    function (Section 3.5); any monotone model works for measuring
+    {e optimization time}, which is what the evaluation reports.  We
+    provide the two standard choices:
+
+    - {!c_out} — the textbook C_out model: the cost of a plan is the
+      sum of the cardinalities of all intermediate results.  This is
+      the model used for all paper-reproduction benchmarks because it
+      is the cheapest to evaluate (one float add per EmitCsgCmp).
+    - {!c_mm} — a main-memory model: each join costs the cheaper of a
+      nested-loop evaluation [l·r] and a hash-based evaluation
+      [c_build·r + c_probe·l + out]; non-inner operators always pay
+      the hash price (they need the full partner set per tuple).
+
+    A model only prices a {e single} operator application; plan code
+    adds children costs itself. *)
+
+type t = {
+  name : string;
+  op_cost :
+    Relalg.Operator.t -> left_card:float -> right_card:float ->
+    out_card:float -> float;
+      (** Cost of applying one operator, excluding subplan costs. *)
+}
+
+val c_out : t
+
+val c_mm : t
+
+val by_name : string -> t option
+(** ["cout"] or ["cmm"], for CLI flag parsing. *)

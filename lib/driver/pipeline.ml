@@ -1,0 +1,72 @@
+module Ot = Relalg.Optree
+
+type conflict_mode =
+  | Tes_literal
+  | Tes_conservative
+  | Tes_generate_and_test
+  | Cdc
+
+type result = {
+  tree : Ot.t;
+  graph : Hypergraph.Graph.t;
+  plan : Plans.Plan.t;
+  counters : Core.Counters.t;
+}
+
+let optimize_tree ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp) ?model
+    ?cards ?sels tree =
+  match Ot.validate tree with
+  | Error e -> Error ("invalid operator tree: " ^ Ot.error_to_string e)
+  | Ok () -> (
+      let tree = Conflicts.Simplify.simplify tree in
+      let graph, filter =
+        match mode with
+        | Tes_literal ->
+            let a = Conflicts.Analysis.analyze tree in
+            (Conflicts.Derive.hypergraph ?cards ?sels a, None)
+        | Tes_conservative ->
+            let a = Conflicts.Analysis.analyze ~conservative:true tree in
+            (Conflicts.Derive.hypergraph ?cards ?sels a, None)
+        | Tes_generate_and_test ->
+            let a = Conflicts.Analysis.analyze ~conservative:true tree in
+            let g, f = Conflicts.Derive.ses_graph ?cards ?sels a in
+            (g, Some f)
+        | Cdc ->
+            let a = Conflicts.Cdc.analyze tree in
+            let g, f = Conflicts.Cdc.derive ?cards ?sels a in
+            (g, Some f)
+      in
+      match filter, Core.Optimizer.supports_filter algo with
+      | Some _, false ->
+          Error
+            (Printf.sprintf
+               "conflict mode needs a validity filter, which %s does not \
+                support"
+               (Core.Optimizer.name algo))
+      | _ -> (
+          match Core.Optimizer.run ?model ?filter algo graph with
+          | { plan = Some plan; counters; _ } ->
+              Ok { tree; graph; plan; counters }
+          | { plan = None; _ } -> Error "no valid plan found"
+          | exception Invalid_argument m -> Error m))
+
+let optimize_sql ?mode ?algo ?model ?cards ?sels sql =
+  match Sqlfront.Binder.parse_and_bind sql with
+  | Error m -> Error m
+  | Ok bound -> optimize_tree ?mode ?algo ?model ?cards ?sels bound.tree
+
+let optimize_graph ?(algo = Core.Optimizer.Dphyp) ?model graph =
+  match Core.Optimizer.run ?model algo graph with
+  | { plan = Some plan; counters; _ } ->
+      Ok { tree = Plans.Plan.to_optree graph plan; graph; plan; counters }
+  | { plan = None; _ } -> Error "no valid plan found"
+  | exception Invalid_argument m -> Error m
+
+let verify_on_data ?(rows = 8) ?(seed = 42) r =
+  let inst = Executor.Instance.for_tree ~rows ~seed r.tree in
+  let expected = Executor.Exec.eval inst r.tree in
+  let got = Executor.Exec.eval inst (Plans.Plan.to_optree r.graph r.plan) in
+  let universe = Executor.Exec.output_tables r.tree in
+  match Executor.Bag.diff_summary ~universe expected got with
+  | None -> Ok (List.length expected)
+  | Some m -> Error m

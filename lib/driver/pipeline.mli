@@ -1,0 +1,63 @@
+(** One-call driver for the whole optimization pipeline.
+
+    The layered API (simplify → analyze → derive → enumerate) is what
+    the examples teach; this module is the convenience wrapper a
+    downstream user actually calls:
+
+    {[
+      match Driver.Pipeline.optimize_sql "SELECT * FROM a JOIN b ON a.k = b.k" with
+      | Ok r -> Format.printf "%a@." Plans.Plan.pp r.plan
+      | Error msg -> prerr_endline msg
+    ]} *)
+
+type conflict_mode =
+  | Tes_literal  (** the paper's CalcTES with the literal path gate *)
+  | Tes_conservative
+      (** CalcTES with the widened gate (reproduces Figure 8a) *)
+  | Tes_generate_and_test
+      (** SES edges plus a TES validity filter (Section 5.8 baseline) *)
+  | Cdc  (** the SIGMOD 2013 rule-based successor *)
+
+type result = {
+  tree : Relalg.Optree.t;  (** after simplification *)
+  graph : Hypergraph.Graph.t;
+  plan : Plans.Plan.t;
+  counters : Core.Counters.t;
+}
+
+val optimize_tree :
+  ?mode:conflict_mode ->
+  ?algo:Core.Optimizer.algorithm ->
+  ?model:Costing.Cost_model.t ->
+  ?cards:(int -> float) ->
+  ?sels:(int -> float) ->
+  Relalg.Optree.t ->
+  (result, string) Result.t
+(** Simplify, run conflict analysis under [mode] (default
+    {!Tes_literal}), derive the hypergraph, optimize with [algo]
+    (default DPhyp).  [Error] carries a human-readable reason
+    (invalid tree, no plan, algorithm/filter mismatch). *)
+
+val optimize_sql :
+  ?mode:conflict_mode ->
+  ?algo:Core.Optimizer.algorithm ->
+  ?model:Costing.Cost_model.t ->
+  ?cards:(int -> float) ->
+  ?sels:(int -> float) ->
+  string ->
+  (result, string) Result.t
+(** Parse + bind + {!optimize_tree}. *)
+
+val optimize_graph :
+  ?algo:Core.Optimizer.algorithm ->
+  ?model:Costing.Cost_model.t ->
+  Hypergraph.Graph.t ->
+  (result, string) Result.t
+(** Plain-hypergraph entry point (inner joins / pre-built edges); the
+    [tree] field of the result is the optimized plan re-materialized
+    as an operator tree. *)
+
+val verify_on_data :
+  ?rows:int -> ?seed:int -> result -> (int, string) Result.t
+(** Execute the chosen plan and the initial tree on a generated
+    instance and compare bags; [Ok n] is the common tuple count. *)

@@ -1,0 +1,36 @@
+let canonical ~universe envs =
+  List.sort String.compare (List.map (Env.canonical ~universe) envs)
+
+let equal ~universe a b =
+  List.equal String.equal (canonical ~universe a) (canonical ~universe b)
+
+let diff_summary ~universe a b =
+  let ca = canonical ~universe a and cb = canonical ~universe b in
+  if List.equal String.equal ca cb then None
+  else begin
+    let count tbl xs =
+      List.iter
+        (fun x ->
+          Hashtbl.replace tbl x (1 + Option.value ~default:0 (Hashtbl.find_opt tbl x)))
+        xs
+    in
+    let ta = Hashtbl.create 64 and tb = Hashtbl.create 64 in
+    count ta ca;
+    count tb cb;
+    let missing_from t xs =
+      List.filter
+        (fun x ->
+          let na = Option.value ~default:0 (Hashtbl.find_opt t x) in
+          na = 0)
+        (List.sort_uniq String.compare xs)
+    in
+    let only_a = missing_from tb ca and only_b = missing_from ta cb in
+    let take n l = List.filteri (fun i _ -> i < n) l in
+    Some
+      (Printf.sprintf
+         "bags differ: |a|=%d |b|=%d; only in a (%d): %s; only in b (%d): %s"
+         (List.length ca) (List.length cb) (List.length only_a)
+         (String.concat " " (take 3 only_a))
+         (List.length only_b)
+         (String.concat " " (take 3 only_b)))
+  end

@@ -1,0 +1,18 @@
+(** Bag (multiset) comparison of query results.
+
+    Equivalence of two plans is equality of their result {e bags} over
+    the same table universe — order-insensitive, duplicate-sensitive.
+    This is the acceptance criterion of every semantic property test:
+    an optimized plan must produce a bag equal to the initial operator
+    tree's. *)
+
+val canonical : universe:int list -> Env.t list -> string list
+(** Sorted canonical serializations of all result tuples. *)
+
+val equal : universe:int list -> Env.t list -> Env.t list -> bool
+
+val diff_summary :
+  universe:int list -> Env.t list -> Env.t list -> string option
+(** [None] when equal; otherwise a human-readable account of the first
+    few tuples present in one bag and missing from the other — test
+    failure messages use this. *)

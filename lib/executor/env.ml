@@ -1,0 +1,61 @@
+module IM = Map.Make (Int)
+
+type row = (string * Relalg.Value.t) list
+
+(* None = NULL-padded row (outer-join padding). *)
+type t = row option IM.t
+
+let empty = IM.empty
+
+let bind i row t = IM.add i (Some row) t
+
+let bind_null i t = IM.add i None t
+
+let bound t i = IM.mem i t
+
+let is_null_padded t i = match IM.find_opt i t with Some None -> true | _ -> false
+
+let lookup t i attr =
+  match IM.find_opt i t with
+  | None | Some None -> Relalg.Value.Null
+  | Some (Some row) ->
+      Option.value ~default:Relalg.Value.Null (List.assoc_opt attr row)
+
+let merge a b = IM.union (fun _ _ rb -> Some rb) a b
+
+let tables t = List.map fst (IM.bindings t)
+
+let canonical ~universe t =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun i ->
+      match IM.find_opt i t with
+      | None -> Buffer.add_string buf (Printf.sprintf "|%d:ABSENT" i)
+      | Some None -> Buffer.add_string buf (Printf.sprintf "|%d:NULLROW" i)
+      | Some (Some row) ->
+          let sorted =
+            List.sort (fun (a, _) (b, _) -> String.compare a b) row
+          in
+          Buffer.add_string buf (Printf.sprintf "|%d:" i);
+          List.iter
+            (fun (a, v) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s=%s;" a (Relalg.Value.to_string v)))
+            sorted)
+    (List.sort_uniq Int.compare universe);
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>";
+  IM.iter
+    (fun i row ->
+      match row with
+      | None -> Format.fprintf ppf "R%d=NULL " i
+      | Some r ->
+          Format.fprintf ppf "R%d={" i;
+          List.iter
+            (fun (a, v) -> Format.fprintf ppf "%s=%a;" a Relalg.Value.pp v)
+            r;
+          Format.fprintf ppf "} ")
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Evaluation environments: one (possibly NULL-padded) row per table.
+
+    A joined tuple binds each participating relation to either a row
+    of attribute/value pairs or to the NULL-padded marker produced by
+    outer joins.  Lookups of unbound tables or missing attributes
+    yield [Null], which gives predicates exactly the three-valued
+    behaviour the strong-predicate machinery of Section 5 relies on. *)
+
+type row = (string * Relalg.Value.t) list
+
+type t
+
+val empty : t
+
+val bind : int -> row -> t -> t
+(** Bind table [i] to a concrete row (replaces any previous binding). *)
+
+val bind_null : int -> t -> t
+(** Bind table [i] to the NULL-padded row. *)
+
+val bound : t -> int -> bool
+
+val is_null_padded : t -> int -> bool
+
+val lookup : t -> int -> string -> Relalg.Value.t
+(** [Null] for unbound tables, padded tables and missing attributes. *)
+
+val merge : t -> t -> t
+(** Right-biased union of bindings (the operands of a join bind
+    disjoint tables, so bias never matters in practice). *)
+
+val tables : t -> int list
+(** Bound table indices, ascending. *)
+
+val canonical : universe:int list -> t -> string
+(** Deterministic serialization over the given table universe —
+    distinguishes bound, padded and absent tables — used for bag
+    comparison. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+module Ns = Nodeset.Node_set
+module G = Hypergraph.Graph
+module He = Hypergraph.Hyperedge
+
+let rows inst i = Instance.rows_of inst ~outer:Env.empty i
+
+let relation_card inst i = float_of_int (List.length (rows inst i))
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* Evaluate the predicate over the (sampled) cross product of all
+   relations the edge mentions. *)
+let edge_selectivity ?(sample = 30) inst (e : He.t) =
+  match e.pred with
+  | Relalg.Predicate.True_ -> 1.0
+  | pred ->
+      let tables = Ns.to_list (He.covers e) in
+      let samples =
+        List.map (fun i -> (i, take sample (rows inst i))) tables
+      in
+      let total = ref 0 and hits = ref 0 in
+      let rec go env = function
+        | [] ->
+            incr total;
+            if Relalg.Predicate.holds ~lookup:(fun t a -> Env.lookup env t a) pred
+            then incr hits
+        | (i, rs) :: rest ->
+            List.iter (fun r -> go (Env.bind i r env) rest) rs
+      in
+      go Env.empty samples;
+      if !total = 0 then 1.0
+      else Float.max 1e-4 (float_of_int !hits /. float_of_int !total)
+
+let calibrate ?sample inst g =
+  let rels =
+    Array.init (G.num_nodes g) (fun i ->
+        let r = G.relation g i in
+        { r with G.card = Float.max 1.0 (relation_card inst i) })
+  in
+  let edges =
+    Array.map
+      (fun (e : He.t) -> { e with He.sel = edge_selectivity ?sample inst e })
+      (G.edges g)
+  in
+  G.make rels edges

@@ -1,0 +1,24 @@
+(** Data-driven calibration of the optimizer's catalog.
+
+    The paper treats cardinalities and selectivities as given (they
+    are attached to the hypergraph, Section 3.5).  This module closes
+    the loop for the examples and tests that also carry {e data}: it
+    measures base-table cardinalities and per-edge predicate
+    selectivities directly on an {!Instance} and rebuilds the
+    hypergraph with the measured values, so estimated plan
+    cardinalities can be compared against executed tuple counts. *)
+
+val relation_card : Instance.t -> int -> float
+(** Row count of one relation (table functions are evaluated under an
+    empty environment). *)
+
+val edge_selectivity :
+  ?sample:int -> Instance.t -> Hypergraph.Hyperedge.t -> float
+(** Fraction of the cross product of the edge's relations satisfying
+    its predicate, floored at a small epsilon (an edge of selectivity
+    0 would make every containing plan cost-free).  At most [sample]
+    rows per relation enter the cross product (default 30). *)
+
+val calibrate : ?sample:int -> Instance.t -> Hypergraph.Graph.t -> Hypergraph.Graph.t
+(** Same graph structure with measured cardinalities and
+    selectivities. *)

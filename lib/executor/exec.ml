@@ -1,0 +1,113 @@
+module Ns = Nodeset.Node_set
+module Ot = Relalg.Optree
+module Op = Relalg.Operator
+module V = Relalg.Value
+
+let rec output_tables = function
+  | Ot.Leaf l -> [ l.node ]
+  | Ot.Node n -> (
+      let l = output_tables n.left and r = output_tables n.right in
+      match n.op.Op.kind with
+      | Op.Inner | Op.Left_outer | Op.Full_outer -> l @ r
+      | Op.Left_semi | Op.Left_anti -> l
+      | Op.Left_nest -> l @ [ List.fold_left min (List.hd r) r ])
+
+let holds_in env pred =
+  Relalg.Predicate.holds ~lookup:(fun t a -> Env.lookup env t a) pred
+
+(* Aggregate evaluation over a group of right-side envs, each merged
+   with the left tuple so that aggregate arguments may reference left
+   attributes too. *)
+let eval_aggs aggs ~left_env ~group =
+  let lookups =
+    List.map
+      (fun renv ->
+        let env = Env.merge left_env renv in
+        fun t a -> Env.lookup env t a)
+      group
+  in
+  List.map
+    (fun (a : Relalg.Aggregate.t) -> (a.name, Relalg.Aggregate.eval ~lookups a))
+    aggs
+
+let rec eval_env inst ~outer tree =
+  match tree with
+  | Ot.Leaf l ->
+      List.map (fun row -> Env.bind l.node row Env.empty) (Instance.rows_of inst ~outer l.node)
+  | Ot.Node n ->
+      let left_envs = eval_env inst ~outer n.left in
+      let right_tables = output_tables n.right in
+      let nest_carrier = List.fold_left min max_int right_tables in
+      let right_for lenv =
+        if n.op.Op.dependent then
+          eval_env inst ~outer:(Env.merge outer lenv) n.right
+        else eval_env inst ~outer n.right
+      in
+      let shared_right =
+        if n.op.Op.dependent then None else Some (eval_env inst ~outer n.right)
+      in
+      let get_right lenv =
+        match shared_right with Some r -> r | None -> right_for lenv
+      in
+      let matches lenv renvs =
+        List.filter
+          (fun renv ->
+            holds_in (Env.merge outer (Env.merge lenv renv)) n.pred)
+          renvs
+      in
+      (match n.op.Op.kind with
+      | Op.Inner ->
+          List.concat_map
+            (fun lenv ->
+              List.map (fun renv -> Env.merge lenv renv) (matches lenv (get_right lenv)))
+            left_envs
+      | Op.Left_outer ->
+          List.concat_map
+            (fun lenv ->
+              match matches lenv (get_right lenv) with
+              | [] ->
+                  [ List.fold_left (fun e t -> Env.bind_null t e) lenv right_tables ]
+              | ms -> List.map (fun renv -> Env.merge lenv renv) ms)
+            left_envs
+      | Op.Full_outer ->
+          let right_envs = get_right Env.empty in
+          let matched_right = Hashtbl.create 64 in
+          let left_part =
+            List.concat_map
+              (fun lenv ->
+                match matches lenv right_envs with
+                | [] ->
+                    [ List.fold_left (fun e t -> Env.bind_null t e) lenv right_tables ]
+                | ms ->
+                    List.map
+                      (fun renv ->
+                        Hashtbl.replace matched_right (Env.canonical ~universe:right_tables renv) ();
+                        Env.merge lenv renv)
+                      ms)
+              left_envs
+          in
+          let left_tables = output_tables n.left in
+          let right_part =
+            List.filter_map
+              (fun renv ->
+                if Hashtbl.mem matched_right (Env.canonical ~universe:right_tables renv)
+                then None
+                else
+                  Some
+                    (List.fold_left (fun e t -> Env.bind_null t e) renv left_tables))
+              right_envs
+          in
+          left_part @ right_part
+      | Op.Left_semi ->
+          List.filter (fun lenv -> matches lenv (get_right lenv) <> []) left_envs
+      | Op.Left_anti ->
+          List.filter (fun lenv -> matches lenv (get_right lenv) = []) left_envs
+      | Op.Left_nest ->
+          List.map
+            (fun lenv ->
+              let group = matches lenv (get_right lenv) in
+              let agg_row = eval_aggs n.aggs ~left_env:lenv ~group in
+              Env.bind nest_carrier agg_row lenv)
+            left_envs)
+
+let eval inst tree = eval_env inst ~outer:Env.empty tree

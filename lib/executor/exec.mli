@@ -1,0 +1,28 @@
+(** Tuple-at-a-time evaluation of operator trees.
+
+    Implements all twelve operators of Section 5.1 with SQL semantics:
+
+    - inner join: matching combinations;
+    - left outer join: plus NULL-padded left survivors;
+    - full outer join: plus NULL-padded right survivors;
+    - left semijoin / antijoin: left rows with / without partners;
+    - nestjoin: per the paper's definition
+      [R T S = { r ∘ s(r) | r ∈ R }] — the right side's attributes are
+      replaced by the aggregate results, bound under the smallest
+      right-side table index;
+    - dependent variants: the right subtree is re-evaluated for every
+      left tuple with the left tuple's bindings in scope (apply /
+      outer apply / ...).
+
+    Nested-loop evaluation throughout: this is a correctness oracle
+    for the optimizer, not a performance engine. *)
+
+val eval : Instance.t -> Relalg.Optree.t -> Env.t list
+(** Evaluate a closed tree (no free variables at the root). *)
+
+val eval_env : Instance.t -> outer:Env.t -> Relalg.Optree.t -> Env.t list
+(** Evaluate with outer bindings in scope (dependent subtrees). *)
+
+val output_tables : Relalg.Optree.t -> int list
+(** Tables bound in the result envs: all leaf tables, with nestjoin
+    right-side tables collapsed to the aggregate carrier table. *)

@@ -1,0 +1,21 @@
+module Ot = Relalg.Optree
+
+type node_stat = { tables : Nodeset.Node_set.t; rows : int }
+
+let per_node inst tree =
+  let acc = ref [] in
+  let rec walk = function
+    | Ot.Leaf _ -> ()
+    | Ot.Node n as t ->
+        walk n.left;
+        walk n.right;
+        let rows = List.length (Exec.eval inst t) in
+        acc := { tables = Ot.tables t; rows } :: !acc
+  in
+  walk tree;
+  List.rev !acc
+
+let actual_cout inst tree =
+  List.fold_left
+    (fun s (st : node_stat) -> s +. float_of_int st.rows)
+    0.0 (per_node inst tree)

@@ -1,0 +1,22 @@
+(** Measured execution statistics.
+
+    The C_out cost of a plan is by definition the sum of its
+    intermediate result sizes — so it can be {e measured} by running
+    the plan, giving a ground truth to hold the optimizer's estimates
+    against (benchmark [xqual] and the estimation tests do exactly
+    that). *)
+
+type node_stat = {
+  tables : Nodeset.Node_set.t;  (** relations covered by the subtree *)
+  rows : int;  (** actual output rows of the subtree *)
+}
+
+val actual_cout : Instance.t -> Relalg.Optree.t -> float
+(** Sum of actual intermediate result sizes over all interior
+    operators (base-table scans excluded, matching the C_out model's
+    treatment of scans as free). *)
+
+val per_node : Instance.t -> Relalg.Optree.t -> node_stat list
+(** Actual cardinality of every interior operator, post order.
+    Subtrees are re-evaluated independently (quadratic — fine for the
+    test-sized instances this is meant for). *)

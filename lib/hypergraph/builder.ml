@@ -1,0 +1,85 @@
+module Ns = Nodeset.Node_set
+module P = Relalg.Predicate
+
+type t = {
+  mutable rels : Graph.rel list;  (* reversed *)
+  mutable nrels : int;
+  mutable edges : Hyperedge.t list;  (* reversed *)
+  mutable nedges : int;
+}
+
+let create () = { rels = []; nrels = 0; edges = []; nedges = 0 }
+
+let add_relation ?(card = 1000.0) ?(free = Ns.empty) b name =
+  let id = b.nrels in
+  b.rels <- { Graph.name; card; free } :: b.rels;
+  b.nrels <- id + 1;
+  id
+
+(* Classify the relations of a predicate into (must-left, must-right,
+   either-side).  For a single comparison the sides of the comparison
+   decide; conjunctions/disjunctions are treated per conjunct and the
+   final classification is the union of constraints: a relation
+   required left by one comparison and right by another becomes
+   flexible. *)
+let sides_of_predicate p =
+  let rec collect = function
+    | P.True_ | P.False_ -> []
+    | P.Cmp (_, a, b) -> [ (Relalg.Scalar.free_tables a, Relalg.Scalar.free_tables b) ]
+    | P.And (a, b) | P.Or (a, b) -> collect a @ collect b
+    | P.Not a -> collect a
+  in
+  let ft = P.free_tables p in
+  if Ns.cardinal ft < 2 then None
+  else begin
+    let lefts = ref Ns.empty and rights = ref Ns.empty in
+    List.iter
+      (fun (la, lb) ->
+        lefts := Ns.union !lefts (Ns.diff la lb);
+        rights := Ns.union !rights (Ns.diff lb la))
+      (collect p);
+    let flexible =
+      Ns.union (Ns.inter !lefts !rights) (Ns.diff ft (Ns.union !lefts !rights))
+    in
+    let u = Ns.diff !lefts flexible and v = Ns.diff !rights flexible in
+    (* Definition 6 needs non-empty u and v: pin the two smallest
+       flexible relations if a side came out empty. *)
+    let u, v, flexible =
+      if Ns.is_empty u && Ns.is_empty v then begin
+        let a = Ns.min_elt flexible in
+        let rest = Ns.remove a flexible in
+        let b = Ns.min_elt rest in
+        (Ns.singleton a, Ns.singleton b, Ns.remove b rest)
+      end
+      else if Ns.is_empty u then begin
+        let a = Ns.min_elt flexible in
+        (Ns.singleton a, v, Ns.remove a flexible)
+      end
+      else if Ns.is_empty v then begin
+        let a = Ns.min_elt flexible in
+        (u, Ns.singleton a, Ns.remove a flexible)
+      end
+      else (u, v, flexible)
+    in
+    Some (u, v, flexible)
+  end
+
+let add_edge ?w ?op ?pred ?sel ?aggs b u v =
+  let e = Hyperedge.make ?w ?op ?pred ?sel ?aggs ~id:b.nedges u v in
+  b.edges <- e :: b.edges;
+  b.nedges <- b.nedges + 1
+
+let add_predicate ?op ?sel b p =
+  match sides_of_predicate p with
+  | None ->
+      invalid_arg
+        ("Builder.add_predicate: not a join predicate: " ^ P.to_string p)
+  | Some (u, v, w) -> add_edge ~w ?op ~pred:p ?sel b u v
+
+let build ?(connect = true) b =
+  let g =
+    Graph.make
+      (Array.of_list (List.rev b.rels))
+      (Array.of_list (List.rev b.edges))
+  in
+  if connect then Graph.ensure_connected g else g

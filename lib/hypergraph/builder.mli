@@ -1,0 +1,47 @@
+(** Convenience builder: from relations and predicates to a hypergraph.
+
+    The translation of join predicates into hyperedges follows
+    Section 6: for a comparison [e1 cmp e2], relations appearing only
+    in [e1] form [u], relations only in [e2] form [v], and relations
+    appearing on both sides are free to move ([w]).  Unorientable
+    predicates (e.g. [f(R1.a,R2.b,R3.c) = true]) pin their two
+    smallest relations to opposite sides and leave the rest in [w] —
+    the mild restriction the paper accepts in exchange for not
+    exploding the search space. *)
+
+type t
+
+val create : unit -> t
+
+val add_relation : ?card:float -> ?free:Nodeset.Node_set.t -> t -> string -> int
+(** Register a relation; returns its node index (dense, in call
+    order). *)
+
+val add_predicate :
+  ?op:Relalg.Operator.t -> ?sel:float -> t -> Relalg.Predicate.t -> unit
+(** Derive a hyperedge from the predicate per the rules above.
+    @raise Invalid_argument if the predicate references fewer than two
+    relations (it is a filter, not a join predicate). *)
+
+val add_edge :
+  ?w:Nodeset.Node_set.t ->
+  ?op:Relalg.Operator.t ->
+  ?pred:Relalg.Predicate.t ->
+  ?sel:float ->
+  ?aggs:Relalg.Aggregate.t list ->
+  t ->
+  Nodeset.Node_set.t ->
+  Nodeset.Node_set.t ->
+  unit
+(** Add an explicit hyperedge (id assigned automatically). *)
+
+val build : ?connect:bool -> t -> Graph.t
+(** Finish.  With [connect] (default true), disconnected inputs are
+    patched with selectivity-1 hyperedges per Section 2.1. *)
+
+val sides_of_predicate :
+  Relalg.Predicate.t ->
+  (Nodeset.Node_set.t * Nodeset.Node_set.t * Nodeset.Node_set.t) option
+(** The [(u, v, w)] classification used by {!add_predicate}; [None]
+    if the predicate mentions fewer than two relations.  Exposed for
+    tests. *)

@@ -1,0 +1,50 @@
+module Ns = Nodeset.Node_set
+module Se = Nodeset.Subset_enum
+
+type cache = { g : Graph.t; memo : (int, bool) Hashtbl.t }
+
+let make_cache g = { g; memo = Hashtbl.create 1024 }
+
+let reachable_overapprox g seed =
+  let grow s =
+    let acc = ref s in
+    Ns.iter (fun v -> acc := Ns.union !acc (Graph.simple_neighbors g v)) s;
+    Array.iter
+      (fun e ->
+        if Ns.intersects (Hyperedge.covers e) s then
+          acc := Ns.union !acc (Hyperedge.covers e))
+      (Graph.edges g);
+    !acc
+  in
+  let rec fix s =
+    let s' = grow s in
+    if Ns.equal s s' then s else fix s'
+  in
+  fix seed
+
+(* Definition 3, evaluated top-down with memoization: S is connected
+   iff |S| = 1, or some partition (S1, S2) with min(S) ∈ S1 has both
+   halves connected and an edge of the S-induced subgraph connecting
+   them.  Cost is O(3^|S|) worst case — reference code, not hot. *)
+let rec is_connected c s =
+  if Ns.is_empty s then false
+  else if Ns.is_singleton s then true
+  else
+    match Hashtbl.find_opt c.memo (Ns.to_int s) with
+    | Some b -> b
+    | None ->
+        let rest = Ns.without_min s in
+        let result =
+          (* S1 ranges over subsets containing min(S): min(S) ∪ T for
+             T ⊆ rest, T ⊊ rest. *)
+          Se.exists_nonempty rest (fun s2 ->
+              let s1 = Ns.diff s s2 in
+              Graph.connects c.g s1 s2
+              && is_connected c s1 && is_connected c s2)
+        in
+        Hashtbl.replace c.memo (Ns.to_int s) result;
+        result
+
+let is_connected_graph g =
+  let c = make_cache g in
+  is_connected c (Graph.all_nodes g)

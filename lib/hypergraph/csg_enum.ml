@@ -1,0 +1,50 @@
+module Ns = Nodeset.Node_set
+module Se = Nodeset.Subset_enum
+
+let connected_subgraphs g =
+  let cache = Connectivity.make_cache g in
+  let acc = ref [] in
+  Se.iter_nonempty (Graph.all_nodes g) (fun s ->
+      if Connectivity.is_connected cache s then acc := s :: !acc);
+  List.rev !acc
+
+let count_connected_subgraphs g = List.length (connected_subgraphs g)
+
+let csg_cmp_pairs g =
+  let cache = Connectivity.make_cache g in
+  let all = Graph.all_nodes g in
+  let acc = ref [] in
+  Se.iter_nonempty all (fun s1 ->
+      if Connectivity.is_connected cache s1 then
+        Se.iter_nonempty (Ns.diff all s1) (fun s2 ->
+            if
+              Ns.min_elt s1 < Ns.min_elt s2
+              && Connectivity.is_connected cache s2
+              && Graph.connects g s1 s2
+            then acc := (s1, s2) :: !acc));
+  List.rev !acc
+
+let count_csg_cmp_pairs g = List.length (csg_cmp_pairs g)
+
+let count_join_trees g =
+  let conn = Connectivity.make_cache g in
+  let memo : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let rec trees s =
+    if Ns.is_singleton s then 1
+    else
+      match Hashtbl.find_opt memo (Ns.to_int s) with
+      | Some n -> n
+      | None ->
+          let total = ref 0 in
+          (* canonical partitions: min(s) stays in s1 *)
+          Se.iter_nonempty (Ns.without_min s) (fun s2 ->
+              let s1 = Ns.diff s s2 in
+              if
+                Connectivity.is_connected conn s1
+                && Connectivity.is_connected conn s2
+                && Graph.connects g s1 s2
+              then total := !total + (2 * trees s1 * trees s2));
+          Hashtbl.replace memo (Ns.to_int s) !total;
+          !total
+  in
+  trees (Graph.all_nodes g)

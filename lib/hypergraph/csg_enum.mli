@@ -1,0 +1,31 @@
+(** Brute-force enumeration of connected subgraphs and csg-cmp-pairs.
+
+    The number of csg-cmp-pairs is the paper's lower bound on the cost
+    function calls of {e any} dynamic-programming join enumerator
+    (Section 2.2).  This module computes the exact sets by exhaustive
+    enumeration — exponential, intended for testing DPhyp's emission
+    trace and for the machine-independent [#ccp] columns of the
+    benchmark report. *)
+
+val connected_subgraphs : Graph.t -> Nodeset.Node_set.t list
+(** All connected subsets of the node set, ascending numeric order. *)
+
+val count_connected_subgraphs : Graph.t -> int
+
+val csg_cmp_pairs :
+  Graph.t -> (Nodeset.Node_set.t * Nodeset.Node_set.t) list
+(** All csg-cmp-pairs (Definition 4) in canonical form, i.e.
+    restricted to [min S1 < min S2] so that symmetric duplicates are
+    not listed — the exact set DPhyp must emit, each exactly once. *)
+
+val count_csg_cmp_pairs : Graph.t -> int
+
+val count_join_trees : Graph.t -> int
+(** Number of cross-product-free {e ordered} bushy join trees for the
+    query (both argument orders counted, as for a commutative join) —
+    the classic search-space size metric.  Computed by dynamic
+    programming over connected subsets:
+    [trees(S) = sum of trees(S1)·trees(S2)·2] over the canonical
+    csg-cmp-pairs partitioning [S].  Known closed forms validate it:
+    chains give [2^(n−1)·Catalan(n−1)], cliques give
+    [(2n−2)! / (n−1)!]. *)

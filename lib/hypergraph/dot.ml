@@ -1,0 +1,31 @@
+module Ns = Nodeset.Node_set
+
+let to_dot ?(name = "query") g =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "graph %s {\n" name;
+  pr "  node [shape=ellipse];\n";
+  for i = 0 to Graph.num_nodes g - 1 do
+    pr "  R%d [label=\"%s\"];\n" i (Graph.relation g i).Graph.name
+  done;
+  Array.iter
+    (fun (e : Hyperedge.t) ->
+      if Hyperedge.is_simple e then
+        pr "  R%d -- R%d [label=\"%s\"];\n" (Ns.min_elt e.u) (Ns.min_elt e.v)
+          (Relalg.Operator.symbol e.op)
+      else begin
+        pr "  he%d [shape=box, label=\"%s\", width=0.2, height=0.2];\n" e.id
+          (Relalg.Operator.symbol e.op);
+        Ns.iter (fun v -> pr "  R%d -- he%d [color=blue];\n" v e.id) e.u;
+        Ns.iter (fun v -> pr "  he%d -- R%d [color=red];\n" e.id v) e.v;
+        Ns.iter (fun v -> pr "  he%d -- R%d [style=dashed];\n" e.id v) e.w
+      end)
+    (Graph.edges g);
+  pr "}\n";
+  Buffer.contents buf
+
+let write_file path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot g))

@@ -1,0 +1,12 @@
+(** Graphviz (DOT) export of hypergraphs.
+
+    Relations become ellipse nodes; every non-simple hyperedge becomes
+    a small box node connected to all its members, with [u]-side links
+    drawn solid, [v]-side links drawn solid on the other end and
+    [w]-links dashed (the "either side" relations of Section 6). *)
+
+val to_dot : ?name:string -> Graph.t -> string
+(** A complete [graph { ... }] document. *)
+
+val write_file : string -> Graph.t -> unit
+(** Write {!to_dot} output to the given path. *)

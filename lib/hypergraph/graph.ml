@@ -1,0 +1,207 @@
+module Ns = Nodeset.Node_set
+
+type rel = { name : string; card : float; free : Ns.t }
+
+let base_rel ?(free = Ns.empty) ?(card = 1000.0) name = { name; card; free }
+
+type t = {
+  n : int;
+  relations : rel array;
+  edges : Hyperedge.t array;
+  simple_nb : Ns.t array;  (* per node: union of simple-edge neighbors *)
+  complex : Hyperedge.t list;  (* non-simple edges, id order *)
+}
+
+let make relations edges =
+  let n = Array.length relations in
+  if n = 0 then invalid_arg "Hypergraph.make: no relations";
+  if n > Ns.max_nodes then
+    invalid_arg
+      (Printf.sprintf "Hypergraph.make: %d relations exceed the %d-node limit"
+         n Ns.max_nodes);
+  let all = Ns.full n in
+  Array.iteri
+    (fun i (e : Hyperedge.t) ->
+      if e.id <> i then
+        invalid_arg
+          (Printf.sprintf "Hypergraph.make: edge at index %d has id %d" i e.id);
+      if not (Ns.subset (Hyperedge.covers e) all) then
+        invalid_arg "Hypergraph.make: edge mentions out-of-range node")
+    edges;
+  let simple_nb = Array.make n Ns.empty in
+  let complex = ref [] in
+  Array.iter
+    (fun (e : Hyperedge.t) ->
+      if Hyperedge.is_simple e then begin
+        let a = Ns.min_elt e.u and b = Ns.min_elt e.v in
+        simple_nb.(a) <- Ns.add b simple_nb.(a);
+        simple_nb.(b) <- Ns.add a simple_nb.(b)
+      end
+      else complex := e :: !complex)
+    edges;
+  { n; relations; edges; simple_nb; complex = List.rev !complex }
+
+let num_nodes g = g.n
+
+let all_nodes g = Ns.full g.n
+
+let relation g i = g.relations.(i)
+
+let cardinality g i = g.relations.(i).card
+
+let free_of g s = Ns.fold (fun i acc -> Ns.union g.relations.(i).free acc) s Ns.empty
+
+let edges g = g.edges
+
+let num_edges g = Array.length g.edges
+
+let edge g i = g.edges.(i)
+
+let simple_neighbors g i = g.simple_nb.(i)
+
+let complex_edges g = g.complex
+
+(* E♮0(S, X): candidate hypernodes reachable from S, disjoint from S
+   and X.  Generalized edges contribute v ∪ (w \ S) when u ⊆ S (and
+   symmetrically); the w-part outside S must travel with the opposite
+   side (Section 6). *)
+let candidate_hypernodes g s x =
+  let sx = Ns.union s x in
+  let cands = ref [] in
+  let consider side_in side_out w =
+    if Ns.subset side_in s then begin
+      let cand = Ns.union side_out (Ns.diff w s) in
+      if (not (Ns.is_empty cand)) && Ns.disjoint cand sx then
+        cands := cand :: !cands
+    end
+  in
+  List.iter
+    (fun (e : Hyperedge.t) ->
+      consider e.u e.v e.w;
+      consider e.v e.u e.w)
+    g.complex;
+  !cands
+
+(* Minimization step E♮0 → E♮: drop any candidate that is a strict
+   superset of another candidate or contains a simple-edge neighbor
+   (simple neighbors are singleton hypernodes, hence minimal). *)
+let eligible_hypernodes g s x =
+  let simple =
+    Ns.fold (fun v acc -> Ns.union g.simple_nb.(v) acc) s Ns.empty
+  in
+  let simple = Ns.diff simple (Ns.union s x) in
+  let cands = candidate_hypernodes g s x in
+  let keep c =
+    Ns.disjoint c simple
+    && not
+         (List.exists
+            (fun c' -> (not (Ns.equal c c')) && Ns.strict_subset c' c)
+            cands)
+  in
+  (* Duplicate candidates subsume each other; keep one copy. *)
+  let rec dedup seen = function
+    | [] -> List.rev seen
+    | c :: rest ->
+        if List.exists (Ns.equal c) seen then dedup seen rest
+        else dedup (c :: seen) rest
+  in
+  Ns.fold (fun v acc -> Ns.singleton v :: acc) simple []
+  |> List.rev_append (List.rev (dedup [] (List.filter keep cands)))
+
+let neighborhood g s x =
+  let simple =
+    Ns.fold (fun v acc -> Ns.union g.simple_nb.(v) acc) s Ns.empty
+  in
+  let simple = Ns.diff simple (Ns.union s x) in
+  let nb = ref simple in
+  if g.complex <> [] then begin
+    let cands = candidate_hypernodes g s x in
+    List.iter
+      (fun c ->
+        (* Subsumption (E♮ minimization): skip c if it contains a
+           simple neighbor (a singleton candidate) or a strict subset
+           among the complex candidates. *)
+        if
+          Ns.disjoint c simple
+          && not
+               (List.exists
+                  (fun c' -> (not (Ns.equal c c')) && Ns.strict_subset c' c)
+                  cands)
+        then nb := Ns.add (Ns.min_elt c) !nb)
+      cands
+  end;
+  !nb
+
+let connects g s1 s2 =
+  let found = ref false in
+  let edges = g.edges in
+  let m = Array.length edges in
+  let i = ref 0 in
+  while (not !found) && !i < m do
+    if Hyperedge.connects edges.(!i) s1 s2 then found := true;
+    incr i
+  done;
+  !found
+
+let connecting_edges g s1 s2 =
+  Array.fold_left
+    (fun acc e ->
+      match Hyperedge.orient e s1 s2 with
+      | Some o -> (e, o) :: acc
+      | None -> acc)
+    [] g.edges
+  |> List.rev
+
+let has_hyperedges g = g.complex <> []
+
+(* Weak components: union-find over nodes, each edge merging all the
+   relations it mentions. *)
+let components g =
+  let parent = Array.init g.n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  Array.iter
+    (fun e ->
+      let cover = Hyperedge.covers e in
+      let root = Ns.min_elt cover in
+      Ns.iter (fun v -> union root v) cover)
+    g.edges;
+  let comp = Hashtbl.create 8 in
+  for i = 0 to g.n - 1 do
+    let r = find i in
+    let prev = Option.value ~default:Ns.empty (Hashtbl.find_opt comp r) in
+    Hashtbl.replace comp r (Ns.add i prev)
+  done;
+  Hashtbl.fold (fun _ s acc -> s :: acc) comp []
+  |> List.sort (fun a b -> Int.compare (Ns.min_elt a) (Ns.min_elt b))
+
+let ensure_connected g =
+  match components g with
+  | [] | [ _ ] -> g
+  | first :: rest ->
+      (* Chain consecutive components with selectivity-1 cross-product
+         hyperedges whose hypernodes are the full components (§2.1). *)
+      let next_id = ref (Array.length g.edges) in
+      let glue =
+        List.rev
+          (snd
+             (List.fold_left
+                (fun (prev, acc) comp ->
+                  let e = Hyperedge.make ~id:!next_id prev comp in
+                  incr next_id;
+                  (comp, e :: acc))
+                (first, []) rest))
+      in
+      make g.relations (Array.append g.edges (Array.of_list glue))
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>hypergraph: %d nodes, %d edges@," g.n
+    (Array.length g.edges);
+  Array.iteri
+    (fun i r -> Format.fprintf ppf "  R%d = %s (|%s| = %g)@," i r.name r.name r.card)
+    g.relations;
+  Array.iter (fun e -> Format.fprintf ppf "  %a@," Hyperedge.pp e) g.edges;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,92 @@
+(** Query hypergraphs (Definitions 1–4 and 6–7 of the paper).
+
+    A hypergraph bundles the relations of a query (with cardinalities
+    and free-variable sets for dependent evaluation) and its
+    hyperedges.  Construction precomputes, per node, the union of
+    simple-edge neighbors, so that {!neighborhood} touches only the
+    complex edges in its slow path.
+
+    The node order required by the algorithms is the natural order on
+    node indices [0 .. n-1]. *)
+
+type rel = {
+  name : string;
+  card : float;  (** base cardinality |R| *)
+  free : Nodeset.Node_set.t;
+      (** tables this relation's evaluation depends on (table-valued
+          functions); drives the dependent-operator decision of
+          Section 5.6 *)
+}
+
+val base_rel : ?free:Nodeset.Node_set.t -> ?card:float -> string -> rel
+(** Relation descriptor; default cardinality 1000. *)
+
+type t
+
+val make : rel array -> Hyperedge.t array -> t
+(** Build a hypergraph.  Edge ids must equal their array index (use
+    {!of_edges} to have them assigned).  @raise Invalid_argument on
+    inconsistent ids, out-of-range nodes, or more than
+    [Node_set.max_nodes] relations. *)
+
+val num_nodes : t -> int
+
+val all_nodes : t -> Nodeset.Node_set.t
+(** [{0..n-1}]. *)
+
+val relation : t -> int -> rel
+
+val cardinality : t -> int -> float
+
+val free_of : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t
+(** Union of the free-variable sets of the given relations — the
+    paper's [FT(P)] for the subplan over those relations. *)
+
+val edges : t -> Hyperedge.t array
+(** All edges; do not mutate. *)
+
+val num_edges : t -> int
+
+val edge : t -> int -> Hyperedge.t
+
+val simple_neighbors : t -> int -> Nodeset.Node_set.t
+(** Precomputed union of the opposite endpoints of all simple edges
+    incident to a node. *)
+
+val complex_edges : t -> Hyperedge.t list
+(** Edges that are not simple, in id order. *)
+
+val neighborhood : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> Nodeset.Node_set.t
+(** [neighborhood g s x] is the paper's [N(S, X)] (Equation 1):
+    the union over non-subsumed eligible hypernodes [v] of [min(v)],
+    where a hypernode [v] is eligible if some edge leads from inside
+    [S] to [v] and [v] is disjoint from both [S] and [X].  Generalized
+    edges [(u,v,w)] contribute the dynamic hypernode [v ∪ (w \ S)]
+    (Section 6). *)
+
+val eligible_hypernodes :
+  t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> Nodeset.Node_set.t list
+(** The non-subsumed set [E♮(S, X)] itself — exposed for tests. *)
+
+val connects : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> bool
+(** Is there an edge connecting the two disjoint sets (Def. 7)? *)
+
+val connecting_edges :
+  t -> Nodeset.Node_set.t -> Nodeset.Node_set.t ->
+  (Hyperedge.t * Hyperedge.orientation) list
+(** All edges connecting the pair, with orientation relative to
+    [(s1, s2)] — what EmitCsgCmp conjoins into the join predicate. *)
+
+val has_hyperedges : t -> bool
+(** Any non-simple edge present? *)
+
+val components : t -> Nodeset.Node_set.t list
+(** Connected components in the weak sense (every edge glues all the
+    relations it mentions); used by {!ensure_connected}. *)
+
+val ensure_connected : t -> t
+(** Section 2.1: if the graph is disconnected, add selectivity-1
+    inner-join hyperedges between consecutive connected components so
+    that the result is connected and describes the same query. *)
+
+val pp : Format.formatter -> t -> unit

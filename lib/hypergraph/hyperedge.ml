@@ -1,0 +1,54 @@
+module Ns = Nodeset.Node_set
+
+type t = {
+  id : int;
+  u : Ns.t;
+  v : Ns.t;
+  w : Ns.t;
+  op : Relalg.Operator.t;
+  pred : Relalg.Predicate.t;
+  sel : float;
+  aggs : Relalg.Aggregate.t list;
+}
+
+let make ?(w = Ns.empty) ?(op = Relalg.Operator.join)
+    ?(pred = Relalg.Predicate.True_) ?(sel = 1.0) ?(aggs = []) ~id u v =
+  if Ns.is_empty u || Ns.is_empty v then
+    invalid_arg "Hyperedge.make: hypernodes u and v must be non-empty";
+  if
+    Ns.intersects u v || Ns.intersects u w || Ns.intersects v w
+  then invalid_arg "Hyperedge.make: u, v, w must be pairwise disjoint";
+  if not (sel > 0.0 && sel <= 1.0) then
+    invalid_arg "Hyperedge.make: selectivity must be in (0,1]";
+  { id; u; v; w; op; pred; sel; aggs }
+
+let simple ?op ?pred ?sel ~id a b =
+  make ?op ?pred ?sel ~id (Ns.singleton a) (Ns.singleton b)
+
+let is_plain e = Ns.is_empty e.w
+
+let is_simple e = is_plain e && Ns.is_singleton e.u && Ns.is_singleton e.v
+
+let covers e = Ns.union e.u (Ns.union e.v e.w)
+
+let connects e s1 s2 =
+  let both = Ns.union s1 s2 in
+  Ns.subset e.w both
+  && ((Ns.subset e.u s1 && Ns.subset e.v s2)
+     || (Ns.subset e.u s2 && Ns.subset e.v s1))
+
+type orientation = Forward | Backward
+
+let orient e s1 s2 =
+  let both = Ns.union s1 s2 in
+  if not (Ns.subset e.w both) then None
+  else if Ns.subset e.u s1 && Ns.subset e.v s2 then Some Forward
+  else if Ns.subset e.u s2 && Ns.subset e.v s1 then Some Backward
+  else None
+
+let pp ppf e =
+  Format.fprintf ppf "e%d:(%a,%a" e.id Ns.pp e.u Ns.pp e.v;
+  if not (Ns.is_empty e.w) then Format.fprintf ppf ",%a" Ns.pp e.w;
+  Format.fprintf ppf ")[%a" Relalg.Operator.pp e.op;
+  if e.sel < 1.0 then Format.fprintf ppf " sel=%.3f" e.sel;
+  Format.fprintf ppf "]"

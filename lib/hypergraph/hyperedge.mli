@@ -1,0 +1,67 @@
+(** Hyperedges, in the generalized triple form of Section 6.
+
+    A hyperedge is [(u, v, w)] with [u], [v], [w] pairwise disjoint,
+    [u] and [v] non-empty.  The plain hyperedges of Definition 1 are
+    the special case [w = ∅]; a {e simple} edge additionally has
+    [|u| = |v| = 1].  [w] holds the relations that may appear on
+    either side of the join (Section 6's "third group").
+
+    Each edge carries the payload the optimizer needs: the operator it
+    was derived from (Section 5.4: "we associate with each hyperedge
+    the operator from which it was derived"), the join predicate, its
+    selectivity, and nestjoin aggregates if any. *)
+
+type t = {
+  id : int;  (** index within the owning hypergraph *)
+  u : Nodeset.Node_set.t;  (** left hypernode (never empty) *)
+  v : Nodeset.Node_set.t;  (** right hypernode (never empty) *)
+  w : Nodeset.Node_set.t;  (** flexible relations (empty if plain) *)
+  op : Relalg.Operator.t;
+  pred : Relalg.Predicate.t;
+  sel : float;  (** selectivity of [pred], in (0, 1] *)
+  aggs : Relalg.Aggregate.t list;  (** nestjoin aggregates *)
+}
+
+val make :
+  ?w:Nodeset.Node_set.t ->
+  ?op:Relalg.Operator.t ->
+  ?pred:Relalg.Predicate.t ->
+  ?sel:float ->
+  ?aggs:Relalg.Aggregate.t list ->
+  id:int ->
+  Nodeset.Node_set.t ->
+  Nodeset.Node_set.t ->
+  t
+(** [make ~id u v] builds an edge; defaults: plain inner join with
+    predicate [True_] and selectivity 1.  @raise Invalid_argument if
+    [u] or [v] is empty or the three hypernodes overlap. *)
+
+val simple : ?op:Relalg.Operator.t -> ?pred:Relalg.Predicate.t ->
+  ?sel:float -> id:int -> int -> int -> t
+(** [simple ~id a b] — ordinary binary edge [({a},{b})]. *)
+
+val is_simple : t -> bool
+
+val is_plain : t -> bool
+(** [w = ∅]. *)
+
+val covers : t -> Nodeset.Node_set.t
+(** [u ∪ v ∪ w] — all relations the edge mentions. *)
+
+val connects :
+  t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> bool
+(** [connects e s1 s2] per Definition 7: [u ⊆ s1 ∧ v ⊆ s2 ∧
+    w ⊆ s1 ∪ s2] or symmetrically.  Assumes [s1], [s2] disjoint. *)
+
+type orientation = Forward | Backward
+(** [Forward]: [u] lies in [s1] (the edge's left side is the pair's
+    first component); [Backward]: [u] lies in [s2]. *)
+
+val orient :
+  t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> orientation option
+(** [orient e s1 s2] is [Some Forward] / [Some Backward] if the edge
+    connects the pair in that direction, [None] otherwise.  When both
+    directions hold (possible only for symmetric payloads) [Forward]
+    wins. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+(* Immutable arbitrary-width bitset over int arrays, 62 bits per word
+   (we avoid the sign bit and keep word arithmetic simple). *)
+
+let bits_per_word = 62
+
+type t = { width : int; words : int array }
+
+let nwords width = (width + bits_per_word - 1) / bits_per_word
+
+let create width =
+  if width < 0 then invalid_arg "Bitset.create: negative width";
+  { width; words = Array.make (max 1 (nwords width)) 0 }
+
+let width t = t.width
+
+let check t i =
+  if i < 0 || i >= t.width then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of range [0,%d)" i t.width)
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let mem i t =
+  check t i;
+  (t.words.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+
+let add i t =
+  check t i;
+  let words = Array.copy t.words in
+  words.(i / bits_per_word) <-
+    words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word));
+  { t with words }
+
+let remove i t =
+  check t i;
+  let words = Array.copy t.words in
+  words.(i / bits_per_word) <-
+    words.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word));
+  { t with words }
+
+let singleton width i = add i (create width)
+
+let check_same a b =
+  if a.width <> b.width then invalid_arg "Bitset: width mismatch"
+
+let map2 op a b =
+  check_same a b;
+  { a with words = Array.map2 op a.words b.words }
+
+let union a b = map2 ( lor ) a b
+
+let inter a b = map2 ( land ) a b
+
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let subset a b =
+  check_same a b;
+  let ok = ref true in
+  for k = 0 to Array.length a.words - 1 do
+    if a.words.(k) land lnot b.words.(k) <> 0 then ok := false
+  done;
+  !ok
+
+let disjoint a b =
+  check_same a b;
+  let ok = ref true in
+  for k = 0 to Array.length a.words - 1 do
+    if a.words.(k) land b.words.(k) <> 0 then ok := false
+  done;
+  !ok
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c else Stdlib.compare a.words b.words
+
+let popcount x =
+  let x = x - ((x lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+let cardinal t = Array.fold_left (fun n w -> n + popcount w) 0 t.words
+
+let full w =
+  let t = create w in
+  let words = t.words in
+  for i = 0 to w - 1 do
+    words.(i / bits_per_word) <-
+      words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+  done;
+  { t with words }
+
+let complement t = diff (full t.width) t
+
+let iter f t =
+  for i = 0 to t.width - 1 do
+    if mem i t then f i
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let of_list width l = List.fold_left (fun t i -> add i t) (create width) l
+
+let to_list t = List.rev (fold (fun i l -> i :: l) t [])
+
+let hash t = Hashtbl.hash t.words
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  iter
+    (fun i ->
+      if !first then first := false else Format.fprintf ppf ",";
+      Format.pp_print_int ppf i)
+    t;
+  Format.fprintf ppf "}"

@@ -1,0 +1,62 @@
+(** Arbitrary-width bitsets backed by an [int array].
+
+    {!Node_set} covers up to 62 relations, which is enough for every
+    dynamic-programming experiment in the paper.  This module exists
+    for the places where the universe is not node indices: per-plan
+    predicate sets [p_S] (Section 3.5 attaches the set of applicable
+    predicates to every plan class as a bit vector), edge-id sets, and
+    any catalog-sized universe.  Values are immutable from the outside
+    — every operation returns a fresh set. *)
+
+type t
+
+val create : int -> t
+(** [create width] is the empty set over universe [{0..width-1}].
+    @raise Invalid_argument on negative width. *)
+
+val width : t -> int
+
+val is_empty : t -> bool
+
+val mem : int -> t -> bool
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+val singleton : int -> int -> t
+(** [singleton width i]. *)
+
+val union : t -> t -> t
+(** @raise Invalid_argument on width mismatch. *)
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+
+val disjoint : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val cardinal : t -> int
+
+val full : int -> t
+(** [full width] has all [width] bits set. *)
+
+val complement : t -> t
+
+val iter : (int -> unit) -> t -> unit
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val of_list : int -> int list -> t
+
+val to_list : t -> int list
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit

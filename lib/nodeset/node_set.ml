@@ -1,0 +1,177 @@
+(* Native-int bitset implementation of node sets.
+
+   Bit tricks used throughout:
+   - lowest set bit of [s]:      [s land (-s)]
+   - clear lowest set bit:       [s land (s - 1)]
+   - population count:           folded 64-bit popcount below. *)
+
+type t = int
+
+type node = int
+
+let max_nodes = 62
+
+let empty = 0
+
+let is_empty s = s = 0
+
+let check_node v =
+  if v < 0 || v >= max_nodes then
+    invalid_arg (Printf.sprintf "Node_set: node %d out of range [0,%d)" v max_nodes)
+
+let singleton v =
+  check_node v;
+  1 lsl v
+
+let mem v s = (s lsr v) land 1 = 1
+
+let add v s =
+  check_node v;
+  s lor (1 lsl v)
+
+let remove v s = s land lnot (1 lsl v)
+
+let union a b = a lor b
+
+let inter a b = a land b
+
+let diff a b = a land lnot b
+
+let subset a b = a land lnot b = 0
+
+let equal a b = a = b
+
+let strict_subset a b = subset a b && a <> b
+
+let disjoint a b = a land b = 0
+
+let intersects a b = a land b <> 0
+
+let compare = Int.compare
+
+(* SWAR popcount on the 62 usable bits. *)
+let cardinal s =
+  let x = s - ((s lsr 1) land 0x5555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+let is_singleton s = s <> 0 && s land (s - 1) = 0
+
+(* Number of trailing zeros via de-Bruijn-free loop; sets are small so
+   a simple shift loop would do, but binary search is branch-cheap. *)
+let ntz s =
+  let s = s land (-s) in
+  let n = ref 0 in
+  let s = ref s in
+  if !s land 0xFFFFFFFF = 0 then begin n := !n + 32; s := !s lsr 32 end;
+  if !s land 0xFFFF = 0 then begin n := !n + 16; s := !s lsr 16 end;
+  if !s land 0xFF = 0 then begin n := !n + 8; s := !s lsr 8 end;
+  if !s land 0xF = 0 then begin n := !n + 4; s := !s lsr 4 end;
+  if !s land 0x3 = 0 then begin n := !n + 2; s := !s lsr 2 end;
+  if !s land 0x1 = 0 then n := !n + 1;
+  !n
+
+let min_elt s = if s = 0 then raise Not_found else ntz s
+
+let min_elt_opt s = if s = 0 then None else Some (ntz s)
+
+let max_elt s =
+  if s = 0 then raise Not_found
+  else begin
+    let v = ref 0 in
+    let s = ref s in
+    if !s land (0x3FFFFFFF lsl 32) <> 0 then begin v := !v + 32; s := !s lsr 32 end;
+    if !s land (0xFFFF lsl 16) <> 0 then begin v := !v + 16; s := !s lsr 16 end;
+    if !s land (0xFF lsl 8) <> 0 then begin v := !v + 8; s := !s lsr 8 end;
+    if !s land (0xF lsl 4) <> 0 then begin v := !v + 4; s := !s lsr 4 end;
+    if !s land (0x3 lsl 2) <> 0 then begin v := !v + 2; s := !s lsr 2 end;
+    if !s land 0x2 <> 0 then v := !v + 1;
+    !v
+  end
+
+let min_set s = s land (-s)
+
+let without_min s = s land (s - 1)
+
+let full n =
+  if n < 0 || n > max_nodes then
+    invalid_arg (Printf.sprintf "Node_set.full: %d out of range [0,%d]" n max_nodes);
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let range lo hi =
+  if lo > hi then 0
+  else begin
+    check_node lo;
+    check_node hi;
+    ((1 lsl (hi - lo + 1)) - 1) lsl lo
+  end
+
+let below v =
+  check_node v;
+  (1 lsl v) - 1
+
+let upto v =
+  check_node v;
+  (1 lsl (v + 1)) - 1
+
+let of_list vs = List.fold_left (fun s v -> add v s) empty vs
+
+let iter f s =
+  let s = ref s in
+  while !s <> 0 do
+    let v = ntz !s in
+    f v;
+    s := !s land (!s - 1)
+  done
+
+let iter_desc f s =
+  let s = ref s in
+  while !s <> 0 do
+    let v = max_elt !s in
+    f v;
+    s := remove v !s
+  done
+
+let fold f s acc =
+  let acc = ref acc in
+  iter (fun v -> acc := f v !acc) s;
+  !acc
+
+let to_list s = List.rev (fold (fun v l -> v :: l) s [])
+
+let for_all p s =
+  let ok = ref true in
+  let s = ref s in
+  while !ok && !s <> 0 do
+    let v = ntz !s in
+    if not (p v) then ok := false;
+    s := !s land (!s - 1)
+  done;
+  !ok
+
+let exists p s = not (for_all (fun v -> not (p v)) s)
+
+let filter p s = fold (fun v acc -> if p v then add v acc else acc) s empty
+
+let choose = min_elt
+
+let to_int s = s
+
+let unsafe_of_int i = i
+
+let hash s = s
+
+let pp_named name ppf s =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  iter
+    (fun v ->
+      if !first then first := false else Format.fprintf ppf ",";
+      Format.pp_print_string ppf (name v))
+    s;
+  Format.fprintf ppf "}"
+
+let pp ppf s = pp_named (fun v -> "R" ^ string_of_int v) ppf s
+
+let to_string s = Format.asprintf "%a" pp s

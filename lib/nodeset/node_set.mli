@@ -1,0 +1,140 @@
+(** Sets of query-graph nodes represented as native-int bitsets.
+
+    A node is a small non-negative integer (the index of a relation in
+    the query).  The whole set lives in a single OCaml [int], which
+    limits queries to {!max_nodes} (= 62) relations — far beyond what
+    exhaustive dynamic programming can optimize anyway.
+
+    The total node order [<=] required by DPhyp (Definition 1 of the
+    paper) is the natural order on indices; [min_elt] therefore
+    returns the canonical representative [min(S)] used for hypernode
+    traversal (Section 2.3). *)
+
+type t = private int
+(** A set of nodes.  The [i]-th bit is set iff node [i] is a member.
+    Exposed as [private int] so that performance-critical callers can
+    read the raw bits, while construction stays within this module. *)
+
+type node = int
+(** A node index in [0, max_nodes). *)
+
+val max_nodes : int
+(** Maximum number of distinct nodes supported (62). *)
+
+val empty : t
+(** The empty set. *)
+
+val is_empty : t -> bool
+
+val singleton : node -> t
+(** [singleton v] is [{v}].  @raise Invalid_argument if [v] is out of
+    range. *)
+
+val mem : node -> t -> bool
+
+val add : node -> t -> t
+
+val remove : node -> t -> t
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** [diff a b] is [a \ b]. *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff [a ⊆ b]. *)
+
+val strict_subset : t -> t -> bool
+(** [strict_subset a b] iff [a ⊂ b]. *)
+
+val disjoint : t -> t -> bool
+(** [disjoint a b] iff [a ∩ b = ∅]. *)
+
+val intersects : t -> t -> bool
+(** [intersects a b] iff [a ∩ b ≠ ∅]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order on sets (numeric order of the underlying bits); this
+    coincides with the lexicographic order on sets used in Section 5.4
+    of the paper when comparing [min] elements first. *)
+
+val cardinal : t -> int
+(** Number of members (population count). *)
+
+val is_singleton : t -> bool
+
+val min_elt : t -> node
+(** Smallest member, i.e. the canonical representative [min(S)].
+    @raise Not_found on the empty set. *)
+
+val min_elt_opt : t -> node option
+
+val max_elt : t -> node
+(** Largest member.  @raise Not_found on the empty set. *)
+
+val min_set : t -> t
+(** [min_set s] is [{min_elt s}], or [empty] if [s] is empty — the
+    paper's [min(S)] as a set. *)
+
+val without_min : t -> t
+(** [without_min s] is [s \ min_set s] — the paper's [S \ min(S)],
+    written [min̄(S)]. *)
+
+val full : int -> t
+(** [full n] is [{0, 1, ..., n-1}].  @raise Invalid_argument if [n]
+    is negative or exceeds {!max_nodes}. *)
+
+val range : int -> int -> t
+(** [range lo hi] is [{lo, ..., hi}] (empty if [lo > hi]). *)
+
+val below : node -> t
+(** [below v] is [{w | w < v}] — used to build the paper's forbidden
+    set [B_v = {w | w ≤ v}] as [add v (below v)]. *)
+
+val upto : node -> t
+(** [upto v] is [B_v = {w | w ≤ v}]. *)
+
+val of_list : node list -> t
+
+val to_list : t -> node list
+(** Members in increasing order. *)
+
+val iter : (node -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val iter_desc : (node -> unit) -> t -> unit
+(** Iterate members in decreasing order (the order in which [Solve]
+    and [EmitCsg] walk nodes). *)
+
+val fold : (node -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over members in increasing order. *)
+
+val for_all : (node -> bool) -> t -> bool
+
+val exists : (node -> bool) -> t -> bool
+
+val filter : (node -> bool) -> t -> t
+
+val choose : t -> node
+(** An arbitrary member (the smallest).  @raise Not_found if empty. *)
+
+val to_int : t -> int
+(** The raw bit pattern.  Injective; useful as a hash-table key. *)
+
+val unsafe_of_int : int -> t
+(** Reinterpret a bit pattern as a set.  The caller must guarantee the
+    value is non-negative. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{R0,R3,R5}]. *)
+
+val to_string : t -> string
+
+val pp_named : (node -> string) -> Format.formatter -> t -> unit
+(** Prints with a caller-supplied node-naming function. *)

@@ -1,0 +1,46 @@
+(* Vance–Maier subset enumeration: s' = (s' - m) land m.
+
+   Starting from s = 0, the update yields every subset of m exactly
+   once in increasing numeric order and returns to 0 after the full
+   subset m.  Subtraction borrows through the zero gaps of m, which is
+   what makes the stride work. *)
+
+let m_of s = Node_set.to_int s
+
+let iter_nonempty m f =
+  let m = m_of m in
+  if m <> 0 then begin
+    let s = ref (m land (-m)) in
+    (* first non-empty subset = lowest bit *)
+    let continue = ref true in
+    while !continue do
+      f (Node_set.unsafe_of_int !s);
+      if !s = m then continue := false
+      else s := (!s - m) land m
+    done
+  end
+
+let iter_proper_nonempty m f =
+  let mi = m_of m in
+  iter_nonempty m (fun s -> if Node_set.to_int s <> mi then f s)
+
+let iter_all m f =
+  f Node_set.empty;
+  iter_nonempty m f
+
+let fold_nonempty m f acc =
+  let acc = ref acc in
+  iter_nonempty m (fun s -> acc := f !acc s);
+  !acc
+
+exception Found
+
+let exists_nonempty m p =
+  try
+    iter_nonempty m (fun s -> if p s then raise Found);
+    false
+  with Found -> true
+
+let count m p = fold_nonempty m (fun n s -> if p s then n + 1 else n) 0
+
+let to_list_nonempty m = List.rev (fold_nonempty m (fun l s -> s :: l) [])

@@ -1,0 +1,53 @@
+module Ns = Nodeset.Node_set
+
+type t = {
+  tbl : (int, Plan.t) Hashtbl.t;
+  by_size : Ns.t list array;  (* index [k]: sets of cardinality k, insertion order *)
+}
+
+let create n =
+  { tbl = Hashtbl.create 1024; by_size = Array.make (n + 1) [] }
+
+let find t s = Hashtbl.find_opt t.tbl (Ns.to_int s)
+
+let mem t s = Hashtbl.mem t.tbl (Ns.to_int s)
+
+let register_size t s =
+  let k = Ns.cardinal s in
+  t.by_size.(k) <- s :: t.by_size.(k)
+
+let update t (p : Plan.t) =
+  let key = Ns.to_int p.set in
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+      Hashtbl.replace t.tbl key p;
+      register_size t p.set;
+      true
+  | Some old ->
+      if p.cost < old.cost then begin
+        Hashtbl.replace t.tbl key p;
+        true
+      end
+      else false
+
+let force t (p : Plan.t) =
+  let key = Ns.to_int p.set in
+  if not (Hashtbl.mem t.tbl key) then register_size t p.set;
+  Hashtbl.replace t.tbl key p
+
+let size t = Hashtbl.length t.tbl
+
+let iter f t = Hashtbl.iter (fun _ p -> f p) t.tbl
+
+let sets_of_size t k = if k < Array.length t.by_size then t.by_size.(k) else []
+
+let iter_size t k f =
+  List.iter
+    (fun s ->
+      match find t s with
+      | Some p -> f p
+      | None -> assert false)
+    (sets_of_size t k)
+
+let best t s =
+  match find t s with Some p -> p | None -> raise Not_found

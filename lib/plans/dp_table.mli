@@ -1,0 +1,40 @@
+(** The dynamic programming table: best plan per connected node set.
+
+    Presence of an entry doubles as the connectivity test in every
+    algorithm (Section 3.2: "This is done by a lookup into the
+    dpTable"), exploiting that DP enumerates subsets before supersets.
+    Section 3.6 notes all DP variants memoize the same entries; DPsize
+    additionally needs plans bucketed by size, which {!iter_size}
+    provides via per-size index lists. *)
+
+type t
+
+val create : int -> t
+(** [create n] — table for an [n]-relation query. *)
+
+val find : t -> Nodeset.Node_set.t -> Plan.t option
+
+val mem : t -> Nodeset.Node_set.t -> bool
+
+val update : t -> Plan.t -> bool
+(** Keep the plan if no entry exists for its set or it is cheaper;
+    returns [true] if the table changed. *)
+
+val force : t -> Plan.t -> unit
+(** Unconditionally install the plan (initialization of leaf plans). *)
+
+val size : t -> int
+(** Number of entries — the number of connected subgraphs discovered
+    so far. *)
+
+val iter : (Plan.t -> unit) -> t -> unit
+
+val iter_size : t -> int -> (Plan.t -> unit) -> unit
+(** Iterate the entries covering exactly [k] relations (DPsize's plan
+    buckets). *)
+
+val sets_of_size : t -> int -> Nodeset.Node_set.t list
+
+val best : t -> Nodeset.Node_set.t -> Plan.t
+(** @raise Not_found if the set has no plan (query disconnected or
+    algorithm incomplete — a bug either way). *)

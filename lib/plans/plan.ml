@@ -1,0 +1,116 @@
+module Ns = Nodeset.Node_set
+module Bs = Nodeset.Bitset
+module G = Hypergraph.Graph
+module He = Hypergraph.Hyperedge
+
+type t = { set : Ns.t; card : float; cost : float; applied : Bs.t; tree : tree }
+
+and tree = Scan of int | Join of join
+
+and join = {
+  op : Relalg.Operator.t;
+  edge_ids : int list;
+  left : t;
+  right : t;
+}
+
+let scan g i =
+  {
+    set = Ns.singleton i;
+    card = G.cardinality g i;
+    cost = 0.0;
+    applied = Bs.create (G.num_edges g);
+    tree = Scan i;
+  }
+
+let join (model : Costing.Cost_model.t) ~op ~edge_ids ~sel left right =
+  let card = Costing.Cardinality.estimate op left.card right.card sel in
+  let cost =
+    left.cost +. right.cost
+    +. model.op_cost op ~left_card:left.card ~right_card:right.card
+         ~out_card:card
+  in
+  let applied =
+    List.fold_left (fun b id -> Bs.add id b)
+      (Bs.union left.applied right.applied)
+      edge_ids
+  in
+  {
+    set = Ns.union left.set right.set;
+    card;
+    cost;
+    applied;
+    tree = Join { op; edge_ids; left; right };
+  }
+
+let rec num_joins p =
+  match p.tree with
+  | Scan _ -> 0
+  | Join j -> 1 + num_joins j.left + num_joins j.right
+
+let leaves p =
+  let rec go acc p =
+    match p.tree with
+    | Scan i -> i :: acc
+    | Join j -> go (go acc j.right) j.left
+  in
+  go [] p
+
+let rec is_left_deep p =
+  match p.tree with
+  | Scan _ -> true
+  | Join j -> (
+      match j.right.tree with Scan _ -> is_left_deep j.left | Join _ -> false)
+
+let rec shape_equal a b =
+  match a.tree, b.tree with
+  | Scan i, Scan k -> i = k
+  | Join x, Join y ->
+      Relalg.Operator.equal x.op y.op
+      && shape_equal x.left y.left && shape_equal x.right y.right
+  | (Scan _ | Join _), _ -> false
+
+let to_optree g p =
+  let rec go p =
+    match p.tree with
+    | Scan i ->
+        let r = G.relation g i in
+        Relalg.Optree.leaf ~free:r.G.free i r.G.name
+    | Join j ->
+        let edges = List.map (G.edge g) j.edge_ids in
+        let pred =
+          Relalg.Predicate.conj
+            (List.filter_map
+               (fun (e : He.t) ->
+                 match e.pred with Relalg.Predicate.True_ -> None | p -> Some p)
+               edges)
+        in
+        let aggs = List.concat_map (fun (e : He.t) -> e.aggs) edges in
+        Relalg.Optree.op ~aggs j.op pred (go j.left) (go j.right)
+  in
+  go p
+
+let rec pp ppf p =
+  match p.tree with
+  | Scan i -> Format.fprintf ppf "R%d" i
+  | Join j ->
+      Format.fprintf ppf "(%a %s %a)" pp j.left (Relalg.Operator.symbol j.op)
+        pp j.right
+
+let pp_verbose g ppf p =
+  let rec go indent p =
+    let pad = String.make indent ' ' in
+    match p.tree with
+    | Scan i ->
+        Format.fprintf ppf "%sscan %s (card=%.0f)@\n" pad (G.relation g i).G.name
+          p.card
+    | Join j ->
+        Format.fprintf ppf "%s%s (card=%.1f, cost=%.1f, edges=[%s])@\n" pad
+          (Relalg.Operator.symbol j.op) p.card p.cost
+          (String.concat ";" (List.map string_of_int j.edge_ids));
+        go (indent + 2) j.left;
+        go (indent + 2) j.right
+  in
+  go 0 p
+
+let to_string p = Format.asprintf "%a" pp p

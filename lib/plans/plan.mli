@@ -1,0 +1,72 @@
+(** Bushy join plans — the entries of the dynamic programming table.
+
+    Every plan node records the set of relations it covers, its
+    estimated output cardinality, and its accumulated cost under the
+    cost model active during optimization.  Join nodes remember which
+    hyperedges they applied so that the original predicates (and the
+    operator, per Section 5.4's "associate with each hyperedge the
+    operator from which it was derived") can be recovered. *)
+
+type t = {
+  set : Nodeset.Node_set.t;  (** relations covered *)
+  card : float;  (** estimated output cardinality *)
+  cost : float;  (** total cost including subplans *)
+  applied : Nodeset.Bitset.t;
+      (** hyperedge ids whose predicates this plan has applied — the
+          enumerators use it to apply covered-but-unaligned predicates
+          as filters at the first opportunity (see Emit) *)
+  tree : tree;
+}
+
+and tree =
+  | Scan of int  (** base relation access *)
+  | Join of join
+
+and join = {
+  op : Relalg.Operator.t;
+      (** operator actually applied — already switched to its
+          dependent variant when Section 5.6's test fired *)
+  edge_ids : int list;
+      (** hyperedges whose predicates were applied at this node:
+          the connecting edges, plus any pending inner edge that this
+          join is the first to cover *)
+  left : t;
+  right : t;
+}
+
+val scan : Hypergraph.Graph.t -> int -> t
+(** Plan for a single relation: cost 0, cardinality from catalog. *)
+
+val join :
+  Costing.Cost_model.t ->
+  op:Relalg.Operator.t ->
+  edge_ids:int list ->
+  sel:float ->
+  t -> t -> t
+(** [join model ~op ~edge_ids ~sel l r] — a join node with estimated
+    cardinality and cost filled in. *)
+
+val num_joins : t -> int
+
+val leaves : t -> int list
+(** Relation indices, left-to-right plan order. *)
+
+val is_left_deep : t -> bool
+
+val shape_equal : t -> t -> bool
+(** Structural equality of the join trees, ignoring costs. *)
+
+val to_optree : Hypergraph.Graph.t -> t -> Relalg.Optree.t
+(** Re-materialize the plan as an operator tree: each join node
+    carries the conjunction of its edges' predicates, the nestjoin
+    aggregates if any, and the recovered operator.  Leaf numbering is
+    the plan's, i.e. not necessarily left-to-right — the executor does
+    not care. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line rendering like [((R0 join R1) leftouter R2)]. *)
+
+val pp_verbose : Hypergraph.Graph.t -> Format.formatter -> t -> unit
+(** Multi-line rendering with names, cardinalities and costs. *)
+
+val to_string : t -> string

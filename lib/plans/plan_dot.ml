@@ -1,0 +1,35 @@
+module G = Hypergraph.Graph
+
+let to_dot ?(name = "plan") g plan =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph %s {\n  node [fontname=\"monospace\"];\n" name;
+  let counter = ref 0 in
+  let rec go (p : Plan.t) =
+    let id = !counter in
+    incr counter;
+    (match p.tree with
+    | Plan.Scan i ->
+        pr "  n%d [shape=ellipse, label=\"%s\\ncard=%.0f\"];\n" id
+          (G.relation g i).G.name p.card
+    | Plan.Join j ->
+        pr "  n%d [shape=box, label=\"%s\\ncard=%.3g cost=%.3g\\nedges=[%s]\"];\n"
+          id
+          (Relalg.Operator.symbol j.op)
+          p.card p.cost
+          (String.concat "," (List.map string_of_int j.edge_ids));
+        let l = go j.left in
+        let r = go j.right in
+        pr "  n%d -> n%d;\n" id l;
+        pr "  n%d -> n%d;\n" id r);
+    id
+  in
+  ignore (go plan);
+  pr "}\n";
+  Buffer.contents buf
+
+let write_file path g plan =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot g plan))

@@ -1,0 +1,13 @@
+(** Graphviz export of plan trees.
+
+    Joins become boxes labelled with operator, estimated cardinality
+    and accumulated cost; scans become ellipses with the relation name
+    and base cardinality.  Handy for eyeballing bushy shapes:
+
+    {v
+    joinopt optimize "SELECT ..." --dot-plan plan.dot && dot -Tsvg plan.dot
+    v} *)
+
+val to_dot : ?name:string -> Hypergraph.Graph.t -> Plan.t -> string
+
+val write_file : string -> Hypergraph.Graph.t -> Plan.t -> unit

@@ -1,0 +1,49 @@
+module Ns = Nodeset.Node_set
+
+type func = Count | Sum | Min | Max | Avg
+
+type t = { name : string; func : func; arg : Scalar.t }
+
+let count name = { name; func = Count; arg = Scalar.Const (Value.Int 1) }
+
+let sum name arg = { name; func = Sum; arg }
+
+let minimum name arg = { name; func = Min; arg }
+
+let maximum name arg = { name; func = Max; arg }
+
+let avg name arg = { name; func = Avg; arg }
+
+let free_tables t = match t.func with
+  | Count -> Ns.empty
+  | Sum | Min | Max | Avg -> Scalar.free_tables t.arg
+
+let eval ~lookups t =
+  match t.func with
+  | Count -> Value.Int (List.length lookups)
+  | Sum | Min | Max | Avg ->
+      let vals =
+        List.filter_map
+          (fun lookup ->
+            match Scalar.eval ~lookup t.arg with
+            | Value.Null -> None
+            | v -> Value.to_float v)
+          lookups
+      in
+      (match vals with
+      | [] -> Value.Null
+      | v :: vs -> (
+          match t.func with
+          | Sum -> Value.Float (List.fold_left ( +. ) v vs)
+          | Min -> Value.Float (List.fold_left Float.min v vs)
+          | Max -> Value.Float (List.fold_left Float.max v vs)
+          | Avg ->
+              let s = List.fold_left ( +. ) v vs in
+              Value.Float (s /. float_of_int (List.length vals))
+          | Count -> assert false))
+
+let func_name = function
+  | Count -> "count" | Sum -> "sum" | Min -> "min" | Max -> "max" | Avg -> "avg"
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%s(%a)" t.name (func_name t.func) Scalar.pp t.arg

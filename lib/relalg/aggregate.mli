@@ -1,0 +1,38 @@
+(** Aggregate specifications for the nestjoin (binary grouping).
+
+    Section 5.1 defines the nestjoin
+    [R T_{p,[a1:e1,...,an:en]} S = { r ∘ s(r) | r ∈ R }] where
+    [s(r) = [a_i : e_i(g(r))]] and [g(r)] is the group of [S]-tuples
+    joining with [r].  Each [e_i] is "often a single aggregate
+    function call" — that is exactly what we model: a named aggregate
+    over a scalar expression, evaluated on the group. *)
+
+type func = Count | Sum | Min | Max | Avg
+
+type t = {
+  name : string;  (** output attribute name [a_i] *)
+  func : func;
+  arg : Scalar.t;  (** argument expression, ignored by [Count] *)
+}
+
+val count : string -> t
+(** COUNT star under the given output name. *)
+
+val sum : string -> Scalar.t -> t
+
+val minimum : string -> Scalar.t -> t
+
+val maximum : string -> Scalar.t -> t
+
+val avg : string -> Scalar.t -> t
+
+val free_tables : t -> Nodeset.Node_set.t
+(** Tables referenced by the argument — feeds [SES] of the nestjoin
+    (Section 5.5 unions [FT(e_i)] into the nestjoin's SES). *)
+
+val eval : lookups:(int -> string -> Value.t) list -> t -> Value.t
+(** Evaluate the aggregate over a group given as a list of
+    environments (one per group member).  Empty groups yield [Int 0]
+    for [Count] and [Null] for the others, matching SQL. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type kind = Inner | Left_outer | Full_outer | Left_semi | Left_anti | Left_nest
+
+type t = { kind : kind; dependent : bool }
+
+let make ?(dependent = false) kind =
+  if dependent && kind = Full_outer then
+    invalid_arg "Operator.make: the full outer join has no dependent variant";
+  { kind; dependent }
+
+let join = make Inner
+
+let left_outer = make Left_outer
+
+let full_outer = make Full_outer
+
+let left_semi = make Left_semi
+
+let left_anti = make Left_anti
+
+let left_nest = make Left_nest
+
+let d_join = make ~dependent:true Inner
+
+let to_dependent t = make ~dependent:true t.kind
+
+let commutative t =
+  (not t.dependent) && (t.kind = Inner || t.kind = Full_outer)
+
+let left_linear t =
+  match t.kind with
+  | Inner | Left_outer | Left_semi | Left_anti | Left_nest -> true
+  | Full_outer -> false
+
+let right_linear t = t.kind = Inner
+
+let preserves_left t =
+  match t.kind with
+  | Left_outer | Full_outer | Left_nest -> true
+  | Inner | Left_semi | Left_anti -> false
+
+let equal a b = a.kind = b.kind && a.dependent = b.dependent
+
+let equal_kind a b = a.kind = b.kind
+
+let kind_symbol = function
+  | Inner -> "join"
+  | Left_outer -> "leftouter"
+  | Full_outer -> "fullouter"
+  | Left_semi -> "semijoin"
+  | Left_anti -> "antijoin"
+  | Left_nest -> "nestjoin"
+
+let symbol t = (if t.dependent then "dep-" else "") ^ kind_symbol t.kind
+
+let pp ppf t = Format.pp_print_string ppf (symbol t)
+
+let all_kinds = [ Inner; Left_outer; Full_outer; Left_semi; Left_anti; Left_nest ]

@@ -1,0 +1,73 @@
+(** The binary operators of Section 5.1 and their algebraic traits.
+
+    Six kinds, each with a regular and a dependent variant, give the
+    paper's twelve operators:
+
+    {v
+    kind         regular  dependent        paper symbol
+    Inner        join     d-join (apply)   B  /  C
+    Left_outer   ⟕        outer apply      P  /  Q
+    Full_outer   ⟗        —                M
+    Left_semi    ⋉        dep. semijoin    G  /  H
+    Left_anti    ▷        dep. antijoin    I  /  J
+    Left_nest    nestjoin dep. nestjoin    T  /  U
+    v}
+
+    Traits below come from Definition 5 and Observation 1: every
+    operator in LOP is left-linear; only the inner join is also
+    right-linear; the full outer join is neither.  Only the inner and
+    the full outer join commute. *)
+
+type kind = Inner | Left_outer | Full_outer | Left_semi | Left_anti | Left_nest
+
+type t = { kind : kind; dependent : bool }
+
+val join : t
+(** Regular inner join [B]. *)
+
+val left_outer : t
+
+val full_outer : t
+
+val left_semi : t
+
+val left_anti : t
+
+val left_nest : t
+
+val d_join : t
+(** Dependent join [C] (cross apply). *)
+
+val make : ?dependent:bool -> kind -> t
+
+val to_dependent : t -> t
+(** The dependent counterpart (Section 5.6).  @raise Invalid_argument
+    for the full outer join, which has no dependent variant in the
+    paper's operator set. *)
+
+val commutative : t -> bool
+(** [B] and [M] only — and only their non-dependent forms, since a
+    dependent right side cannot move left. *)
+
+val left_linear : t -> bool
+
+val right_linear : t -> bool
+
+val preserves_left : t -> bool
+(** Does every left-input tuple appear in the output (possibly
+    NULL-padded)?  True for ⟕, ⟗ and the nestjoin. *)
+
+val equal : t -> t -> bool
+
+val equal_kind : t -> t -> bool
+(** Equality on {!kind} only — the conflict predicate [OC] of Section
+    5.5 treats an operator and its dependent counterpart alike. *)
+
+val symbol : t -> string
+(** Short symbol for plan printing (["join"], ["leftouter"], ...,
+    with a ["dep-"] prefix for dependent variants). *)
+
+val pp : Format.formatter -> t -> unit
+
+val all_kinds : kind list
+(** All six kinds, for exhaustive test generation. *)

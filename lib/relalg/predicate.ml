@@ -1,0 +1,87 @@
+module Ns = Nodeset.Node_set
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True_
+  | False_
+  | Cmp of cmp_op * Scalar.t * Scalar.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let eq a b = Cmp (Eq, a, b)
+
+let eq_cols t1 a1 t2 a2 = eq (Scalar.col t1 a1) (Scalar.col t2 a2)
+
+let conj = function
+  | [] -> True_
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let rec free_tables = function
+  | True_ | False_ -> Ns.empty
+  | Cmp (_, a, b) -> Ns.union (Scalar.free_tables a) (Scalar.free_tables b)
+  | And (a, b) | Or (a, b) -> Ns.union (free_tables a) (free_tables b)
+  | Not a -> free_tables a
+
+let eval_cmp op a b =
+  match Value.cmp3 a b with
+  | None -> Value.Unknown
+  | Some c ->
+      Value.truth_of_bool
+        (match op with
+        | Eq -> c = 0
+        | Ne -> c <> 0
+        | Lt -> c < 0
+        | Le -> c <= 0
+        | Gt -> c > 0
+        | Ge -> c >= 0)
+
+let rec eval ~lookup = function
+  | True_ -> Value.True
+  | False_ -> Value.False
+  | Cmp (op, a, b) ->
+      eval_cmp op (Scalar.eval ~lookup a) (Scalar.eval ~lookup b)
+  | And (a, b) -> Value.truth_and (eval ~lookup a) (eval ~lookup b)
+  | Or (a, b) -> Value.truth_or (eval ~lookup a) (eval ~lookup b)
+  | Not a -> Value.truth_not (eval ~lookup a)
+
+let holds ~lookup p = Value.is_true (eval ~lookup p)
+
+(* A predicate is strong w.r.t. [tbl] when all-NULL attributes of
+   [tbl] force it to evaluate to non-true.  Comparisons referencing
+   [tbl] go to Unknown; a conjunction is strong if either conjunct is;
+   a disjunction needs both.  [Not] is never assumed strong (Unknown
+   stays Unknown, but [Not False_] would be true). *)
+let rec is_strong_wrt p tbl =
+  match p with
+  | True_ -> false
+  | False_ -> true
+  | Cmp (_, a, b) ->
+      Ns.mem tbl (Ns.union (Scalar.free_tables a) (Scalar.free_tables b))
+  | And (a, b) -> is_strong_wrt a tbl || is_strong_wrt b tbl
+  | Or (a, b) -> is_strong_wrt a tbl && is_strong_wrt b tbl
+  | Not _ -> false
+
+let rec rename_tables f = function
+  | True_ -> True_
+  | False_ -> False_
+  | Cmp (op, a, b) -> Cmp (op, Scalar.rename_tables f a, Scalar.rename_tables f b)
+  | And (a, b) -> And (rename_tables f a, rename_tables f b)
+  | Or (a, b) -> Or (rename_tables f a, rename_tables f b)
+  | Not a -> Not (rename_tables f a)
+
+let pp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with
+    | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let rec pp ppf = function
+  | True_ -> Format.pp_print_string ppf "true"
+  | False_ -> Format.pp_print_string ppf "false"
+  | Cmp (op, a, b) -> Format.fprintf ppf "%a %a %a" Scalar.pp a pp_op op Scalar.pp b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "NOT %a" pp a
+
+let to_string p = Format.asprintf "%a" pp p

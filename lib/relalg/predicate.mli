@@ -1,0 +1,52 @@
+(** Join and filter predicates with three-valued evaluation.
+
+    Predicates drive two different machineries:
+    - the {e optimizer} only ever asks for [free_tables] (to build
+      hyperedges) and treats the predicate itself as an opaque payload
+      with a selectivity attached in the catalog;
+    - the {e executor} evaluates it under SQL three-valued logic.
+
+    [is_strong_wrt] implements the paper's notion of a predicate
+    being {e strong} (null-rejecting) w.r.t. a set of tables: if all
+    attributes of those tables are NULL the predicate cannot be true.
+    Section 5.2 assumes every reorderable predicate is strong on all
+    referenced tables; our workload generators only emit such
+    predicates and the property tests double-check the assumption. *)
+
+type cmp_op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True_
+  | False_
+  | Cmp of cmp_op * Scalar.t * Scalar.t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eq : Scalar.t -> Scalar.t -> t
+(** Equality comparison, the common case. *)
+
+val eq_cols : int -> string -> int -> string -> t
+(** [eq_cols t1 a1 t2 a2] is [R{t1}.a1 = R{t2}.a2]. *)
+
+val conj : t list -> t
+(** Conjunction of a predicate list; [True_] for the empty list. *)
+
+val free_tables : t -> Nodeset.Node_set.t
+(** The paper's [FT(p)]. *)
+
+val eval : lookup:(int -> string -> Value.t) -> t -> Value.truth
+
+val holds : lookup:(int -> string -> Value.t) -> t -> bool
+(** [eval] collapsed with filter semantics (Unknown = false). *)
+
+val is_strong_wrt : t -> int -> bool
+(** [is_strong_wrt p tbl]: does [p] evaluate to non-true whenever all
+    attributes of [tbl] are NULL?  Conservative (may say [false] for a
+    predicate that is in fact strong). *)
+
+val rename_tables : (int -> int) -> t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,41 @@
+module Ns = Nodeset.Node_set
+
+type t =
+  | Col of int * string
+  | Const of Value.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+
+let col tbl attr = Col (tbl, attr)
+
+let int i = Const (Value.Int i)
+
+let rec free_tables = function
+  | Col (tbl, _) -> Ns.singleton tbl
+  | Const _ -> Ns.empty
+  | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+      Ns.union (free_tables a) (free_tables b)
+
+let rec eval ~lookup = function
+  | Col (tbl, attr) -> lookup tbl attr
+  | Const v -> v
+  | Add (a, b) -> Value.add (eval ~lookup a) (eval ~lookup b)
+  | Sub (a, b) -> Value.sub (eval ~lookup a) (eval ~lookup b)
+  | Mul (a, b) -> Value.mul (eval ~lookup a) (eval ~lookup b)
+
+let rec rename_tables f = function
+  | Col (tbl, attr) -> Col (f tbl, attr)
+  | Const _ as c -> c
+  | Add (a, b) -> Add (rename_tables f a, rename_tables f b)
+  | Sub (a, b) -> Sub (rename_tables f a, rename_tables f b)
+  | Mul (a, b) -> Mul (rename_tables f a, rename_tables f b)
+
+let rec pp ppf = function
+  | Col (tbl, attr) -> Format.fprintf ppf "R%d.%s" tbl attr
+  | Const v -> Value.pp ppf v
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e

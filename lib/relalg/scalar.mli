@@ -1,0 +1,34 @@
+(** Scalar expressions over table attributes.
+
+    A column is addressed by the pair (table index, attribute name);
+    the table index is the node index of the relation in the query
+    (Section 2: nodes of the hypergraph are relations).  Arithmetic
+    over several tables is what creates true hyperedges: the paper's
+    running example [R1.a + R2.b + R3.c = R4.d + R5.e + R6.f] is two
+    {!t} values compared by a {!Predicate.t}. *)
+
+type t =
+  | Col of int * string  (** [Col (tbl, attr)] — attribute of a relation *)
+  | Const of Value.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+
+val col : int -> string -> t
+
+val int : int -> t
+
+val free_tables : t -> Nodeset.Node_set.t
+(** Tables referenced by the expression — the paper's [FT(e)]. *)
+
+val eval : lookup:(int -> string -> Value.t) -> t -> Value.t
+(** Evaluate under an environment mapping (table, attr) to a value.
+    Missing attributes surface as whatever [lookup] returns (usually
+    [Null] or an exception, at the executor's discretion). *)
+
+val rename_tables : (int -> int) -> t -> t
+(** Apply a table-index substitution to every column. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,90 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type truth = True | False | Unknown
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | (Null | Int _ | Float _ | Str _ | Bool _), _ -> false
+
+(* Rank for cross-type ordering: Null < Bool < numeric < Str. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | a, b -> Int.compare (rank a) (rank b)
+
+let cmp3 a b =
+  match a, b with
+  | Null, _ | _, Null -> None
+  | Int _, Str _ | Str _, Int _
+  | Float _, Str _ | Str _, Float _
+  | Bool _, (Int _ | Float _ | Str _)
+  | (Int _ | Float _ | Str _), Bool _ -> None
+  | _ -> Some (compare a b)
+
+let truth_and a b =
+  match a, b with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let truth_or a b =
+  match a, b with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let truth_not = function True -> False | False -> True | Unknown -> Unknown
+
+let truth_of_bool b = if b then True else False
+
+let is_true = function True -> true | False | Unknown -> false
+
+let numeric2 f_int f_float a b =
+  match a, b with
+  | Int x, Int y -> Int (f_int x y)
+  | Int x, Float y -> Float (f_float (float_of_int x) y)
+  | Float x, Int y -> Float (f_float x (float_of_int y))
+  | Float x, Float y -> Float (f_float x y)
+  | _ -> Null
+
+let add = numeric2 ( + ) ( +. )
+
+let sub = numeric2 ( - ) ( -. )
+
+let mul = numeric2 ( * ) ( *. )
+
+let to_float = function
+  | Int x -> Some (float_of_int x)
+  | Float x -> Some x
+  | Null | Str _ | Bool _ -> None
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let to_string v = Format.asprintf "%a" pp v

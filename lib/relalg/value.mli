@@ -1,0 +1,53 @@
+(** Scalar values with SQL-style three-valued comparison semantics.
+
+    The executor needs real NULL semantics because Section 5 of the
+    paper leans on predicates being {e strong} (null-rejecting): a
+    predicate that sees only NULLs from one side must evaluate to
+    false.  Comparisons involving [Null] therefore yield
+    {!truth.Unknown}, which the executor treats as a failed filter. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type truth = True | False | Unknown
+(** Three-valued logic truth values. *)
+
+val equal : t -> t -> bool
+(** Structural equality ([Null] equals [Null] here — used for bag
+    comparison, not for predicate evaluation). *)
+
+val compare : t -> t -> int
+(** Total structural order for sorting bags; [Null] sorts first. *)
+
+val cmp3 : t -> t -> int option
+(** SQL comparison: [None] if either side is [Null] or the types are
+    incomparable, otherwise [Some c] with [c] as [compare]. *)
+
+val truth_and : truth -> truth -> truth
+
+val truth_or : truth -> truth -> truth
+
+val truth_not : truth -> truth
+
+val truth_of_bool : bool -> truth
+
+val is_true : truth -> bool
+(** [Unknown] and [False] both map to [false] — filter semantics. *)
+
+val add : t -> t -> t
+(** Numeric addition; [Null] propagates; type errors yield [Null]. *)
+
+val sub : t -> t -> t
+
+val mul : t -> t -> t
+
+val to_float : t -> float option
+(** Numeric view used by aggregates. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

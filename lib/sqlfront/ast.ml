@@ -1,0 +1,96 @@
+type scalar =
+  | Col of string option * string
+  | Int of int
+  | Str of string
+  | Add of scalar * scalar
+  | Sub of scalar * scalar
+  | Mul of scalar * scalar
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type join_kind = Inner | Left_outer | Full_outer | Semi | Anti
+
+type from_item = { table : string; alias : string }
+
+type pred =
+  | True
+  | False
+  | Cmp of cmp * scalar * scalar
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+  | Exists of exists_query
+      (** correlated [EXISTS (SELECT ... FROM t [WHERE p])]; unnested
+          into a semijoin ([negated = false]) or antijoin by the
+          binder *)
+
+and exists_query = { negated : bool; item : from_item; inner_where : pred option }
+
+type join = { kind : join_kind; item : from_item; on : pred option }
+
+type select_item = Star | Column of string option * string
+
+type query = {
+  select : select_item list;
+  from_first : from_item;
+  from_rest : join list;
+  where : pred option;
+}
+
+let rec pp_scalar ppf = function
+  | Col (None, a) -> Format.pp_print_string ppf a
+  | Col (Some q, a) -> Format.fprintf ppf "%s.%s" q a
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.fprintf ppf "'%s'" s
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp_scalar a pp_scalar b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp_scalar a pp_scalar b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp_scalar a pp_scalar b
+
+let cmp_str = function
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "TRUE"
+  | False -> Format.pp_print_string ppf "FALSE"
+  | Cmp (c, a, b) ->
+      Format.fprintf ppf "%a %s %a" pp_scalar a (cmp_str c) pp_scalar b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_pred a pp_pred b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_pred a pp_pred b
+  | Not a -> Format.fprintf ppf "NOT %a" pp_pred a
+  | Exists e ->
+      Format.fprintf ppf "%sEXISTS (SELECT * FROM %s %s%a)"
+        (if e.negated then "NOT " else "")
+        e.item.table e.item.alias
+        (fun ppf -> function
+          | None -> ()
+          | Some p -> Format.fprintf ppf " WHERE %a" pp_pred p)
+        e.inner_where
+
+let kind_str = function
+  | Inner -> "JOIN"
+  | Left_outer -> "LEFT JOIN"
+  | Full_outer -> "FULL JOIN"
+  | Semi -> "SEMI JOIN"
+  | Anti -> "ANTI JOIN"
+
+let pp_query ppf q =
+  Format.fprintf ppf "SELECT ";
+  List.iteri
+    (fun i it ->
+      if i > 0 then Format.fprintf ppf ", ";
+      match it with
+      | Star -> Format.pp_print_string ppf "*"
+      | Column (None, a) -> Format.pp_print_string ppf a
+      | Column (Some t, a) -> Format.fprintf ppf "%s.%s" t a)
+    q.select;
+  Format.fprintf ppf " FROM %s %s" q.from_first.table q.from_first.alias;
+  List.iter
+    (fun j ->
+      Format.fprintf ppf " %s %s %s" (kind_str j.kind) j.item.table j.item.alias;
+      match j.on with
+      | Some p -> Format.fprintf ppf " ON %a" pp_pred p
+      | None -> ())
+    q.from_rest;
+  match q.where with
+  | Some p -> Format.fprintf ppf " WHERE %a" pp_pred p
+  | None -> ()

@@ -1,0 +1,22 @@
+(** Name resolution: AST query → initial operator tree.
+
+    Relations are numbered left to right in FROM-clause order, which
+    is exactly the numbering Section 5.4 requires of the initial
+    operator tree.  The tree is built left-deep in syntactic order
+    (the optimizer will reorder it); ON predicates stay on their join,
+    WHERE conjuncts attach to the first join at which all referenced
+    tables are in scope. *)
+
+type bound = {
+  tree : Relalg.Optree.t;
+  aliases : (string * int) list;  (** alias → node index *)
+  tables : string array;  (** node index → base-table name *)
+  select : Ast.select_item list;
+}
+
+val bind : Ast.query -> (bound, string) result
+
+val parse_and_bind : string -> (bound, string) result
+(** Lex + parse + bind; all failures as [Error message]. *)
+
+val node_of_alias : bound -> string -> int option

@@ -1,0 +1,28 @@
+(** Hand-written lexer for the toy SQL dialect.
+
+    Keywords are case-insensitive; identifiers keep their case.
+    Supported tokens: identifiers, integer and string literals,
+    punctuation [( ) , . ;], comparison operators [= <> < <= > >=],
+    arithmetic [+ - *], and the keyword set of {!Parser}. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | KW of string  (** upper-cased keyword *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | EQ | NE | LT | LE | GT | GE
+  | PLUS | MINUS | STAR
+  | EOF
+
+exception Error of string * int
+(** message and byte offset. *)
+
+val tokenize : string -> token list
+(** @raise Error on an unexpected character or unterminated string. *)
+
+val pp_token : Format.formatter -> token -> unit

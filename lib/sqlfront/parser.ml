@@ -1,0 +1,278 @@
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let peek st = match st.toks with [] -> Lexer.EOF | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t what =
+  if peek st = t then advance st
+  else fail "expected %s, found %s" what (Format.asprintf "%a" Lexer.pp_token (peek st))
+
+let expect_kw st kw = expect st (Lexer.KW kw) kw
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> fail "expected identifier, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+(* scalar := term (('+'|'-') term)* ; term := factor ('*' factor)* *)
+let rec scalar st =
+  let lhs = term st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS ->
+        advance st;
+        loop (Ast.Add (acc, term st))
+    | Lexer.MINUS ->
+        advance st;
+        loop (Ast.Sub (acc, term st))
+    | _ -> acc
+  in
+  loop lhs
+
+and term st =
+  let lhs = factor st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.STAR ->
+        advance st;
+        loop (Ast.Mul (acc, factor st))
+    | _ -> acc
+  in
+  loop lhs
+
+and factor st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Ast.Int i
+  | Lexer.STRING s ->
+      advance st;
+      Ast.Str s
+  | Lexer.LPAREN ->
+      advance st;
+      let s = scalar st in
+      expect st Lexer.RPAREN ")";
+      s
+  | Lexer.IDENT _ ->
+      let first = ident st in
+      if peek st = Lexer.DOT then begin
+        advance st;
+        let attr = ident st in
+        Ast.Col (Some first, attr)
+      end
+      else Ast.Col (None, first)
+  | t -> fail "expected scalar, found %s" (Format.asprintf "%a" Lexer.pp_token t)
+
+let cmp_of_token = function
+  | Lexer.EQ -> Some Ast.Eq
+  | Lexer.NE -> Some Ast.Ne
+  | Lexer.LT -> Some Ast.Lt
+  | Lexer.LE -> Some Ast.Le
+  | Lexer.GT -> Some Ast.Gt
+  | Lexer.GE -> Some Ast.Ge
+  | _ -> None
+
+(* pred := conj (OR conj)* ; conj := atom (AND atom)* *)
+let rec pred st =
+  let lhs = conj st in
+  if peek st = Lexer.KW "OR" then begin
+    advance st;
+    Ast.Or (lhs, pred st)
+  end
+  else lhs
+
+and conj st =
+  let lhs = atom st in
+  if peek st = Lexer.KW "AND" then begin
+    advance st;
+    Ast.And (lhs, conj st)
+  end
+  else lhs
+
+and atom st =
+  match peek st with
+  | Lexer.KW "NOT" -> (
+      advance st;
+      match peek st with
+      | Lexer.KW "EXISTS" -> exists_atom st ~negated:true
+      | _ -> Ast.Not (atom st))
+  | Lexer.KW "EXISTS" -> exists_atom st ~negated:false
+  | Lexer.KW "TRUE" ->
+      advance st;
+      Ast.True
+  | Lexer.KW "FALSE" ->
+      advance st;
+      Ast.False
+  | Lexer.LPAREN -> (
+      (* ambiguous: "(pred)" vs a parenthesized scalar starting a
+         comparison like "(a.x + 1) <= 7" — try the predicate reading
+         first and backtrack on failure *)
+      let saved = st.toks in
+      try
+        advance st;
+        let p = pred st in
+        expect st Lexer.RPAREN ")";
+        p
+      with Error _ ->
+        st.toks <- saved;
+        comparison st)
+  | _ -> comparison st
+
+and comparison st =
+  let lhs = scalar st in
+  match cmp_of_token (peek st) with
+  | Some c ->
+      advance st;
+      Ast.Cmp (c, lhs, scalar st)
+  | None ->
+      fail "expected comparison operator, found %s"
+        (Format.asprintf "%a" Lexer.pp_token (peek st))
+
+and exists_atom st ~negated =
+  expect_kw st "EXISTS";
+  expect st Lexer.LPAREN "(";
+  expect_kw st "SELECT";
+  (* the select list of an EXISTS subquery is irrelevant *)
+  (match peek st with
+  | Lexer.STAR -> advance st
+  | Lexer.INT _ -> advance st
+  | Lexer.IDENT _ ->
+      ignore (ident st);
+      if peek st = Lexer.DOT then begin
+        advance st;
+        ignore (ident st)
+      end
+  | t -> fail "expected select list in EXISTS, found %s"
+           (Format.asprintf "%a" Lexer.pp_token t));
+  expect_kw st "FROM";
+  let table = ident st in
+  let item =
+    match peek st with
+    | Lexer.KW "AS" ->
+        advance st;
+        { Ast.table; alias = ident st }
+    | Lexer.IDENT _ -> { Ast.table; alias = ident st }
+    | _ -> { Ast.table; alias = table }
+  in
+  let inner_where =
+    if peek st = Lexer.KW "WHERE" then begin
+      advance st;
+      Some (pred st)
+    end
+    else None
+  in
+  expect st Lexer.RPAREN ")";
+  Ast.Exists { negated; item; inner_where }
+
+let from_item st =
+  let table = ident st in
+  match peek st with
+  | Lexer.KW "AS" ->
+      advance st;
+      { Ast.table; alias = ident st }
+  | Lexer.IDENT _ -> { Ast.table; alias = ident st }
+  | _ -> { Ast.table; alias = table }
+
+let join_kind st =
+  match peek st with
+  | Lexer.COMMA ->
+      advance st;
+      Some (Ast.Inner, false)
+  | Lexer.KW "JOIN" ->
+      advance st;
+      Some (Ast.Inner, true)
+  | Lexer.KW "INNER" ->
+      advance st;
+      expect_kw st "JOIN";
+      Some (Ast.Inner, true)
+  | Lexer.KW "LEFT" ->
+      advance st;
+      if peek st = Lexer.KW "OUTER" then advance st;
+      expect_kw st "JOIN";
+      Some (Ast.Left_outer, true)
+  | Lexer.KW "FULL" ->
+      advance st;
+      if peek st = Lexer.KW "OUTER" then advance st;
+      expect_kw st "JOIN";
+      Some (Ast.Full_outer, true)
+  | Lexer.KW "SEMI" ->
+      advance st;
+      expect_kw st "JOIN";
+      Some (Ast.Semi, true)
+  | Lexer.KW "ANTI" ->
+      advance st;
+      expect_kw st "JOIN";
+      Some (Ast.Anti, true)
+  | _ -> None
+
+let select_item st =
+  match peek st with
+  | Lexer.STAR ->
+      advance st;
+      Ast.Star
+  | _ -> (
+      let first = ident st in
+      if peek st = Lexer.DOT then begin
+        advance st;
+        Ast.Column (Some first, ident st)
+      end
+      else Ast.Column (None, first))
+
+let parse src =
+  let st =
+    try { toks = Lexer.tokenize src }
+    with Lexer.Error (msg, pos) -> fail "lex error at offset %d: %s" pos msg
+  in
+  expect_kw st "SELECT";
+  let select = ref [ select_item st ] in
+  while peek st = Lexer.COMMA do
+    advance st;
+    select := select_item st :: !select
+  done;
+  expect_kw st "FROM";
+  let first = from_item st in
+  let joins = ref [] in
+  let rec joins_loop () =
+    match join_kind st with
+    | None -> ()
+    | Some (kind, can_have_on) ->
+        let item = from_item st in
+        let on =
+          if can_have_on && peek st = Lexer.KW "ON" then begin
+            advance st;
+            Some (pred st)
+          end
+          else None
+        in
+        (match kind, on with
+        | (Ast.Left_outer | Ast.Full_outer | Ast.Semi | Ast.Anti), None ->
+            fail "%s requires an ON clause" (Ast.kind_str kind)
+        | _ -> ());
+        joins := { Ast.kind; item; on } :: !joins;
+        joins_loop ()
+  in
+  joins_loop ();
+  let where =
+    if peek st = Lexer.KW "WHERE" then begin
+      advance st;
+      Some (pred st)
+    end
+    else None
+  in
+  if peek st = Lexer.SEMI then advance st;
+  (match peek st with
+  | Lexer.EOF -> ()
+  | t -> fail "trailing input: %s" (Format.asprintf "%a" Lexer.pp_token t));
+  {
+    Ast.select = List.rev !select;
+    from_first = first;
+    from_rest = List.rev !joins;
+    where;
+  }

@@ -1,0 +1,26 @@
+(** Recursive-descent parser for the toy SQL dialect.
+
+    Grammar (keywords case-insensitive):
+
+    {v
+    query    := SELECT select (',' select)* FROM item join* [WHERE pred] [';']
+    select   := '*' | [alias '.'] attr
+    item     := table [ [AS] alias ]
+    join     := ',' item                          -- inner, predicate in WHERE
+              | [INNER] JOIN item [ON pred]
+              | LEFT [OUTER] JOIN item ON pred
+              | FULL [OUTER] JOIN item ON pred
+              | SEMI JOIN item ON pred
+              | ANTI JOIN item ON pred
+    pred     := conj (OR conj)*
+    conj     := atom (AND atom)*
+    atom     := NOT atom | '(' pred ')' | TRUE | FALSE | scalar cmp scalar
+    scalar   := term (('+' | '-') term)*
+    term     := factor ('*' factor)*
+    factor   := [alias '.'] attr | int | string | '(' scalar ')'
+    v} *)
+
+exception Error of string
+
+val parse : string -> Ast.query
+(** @raise Error on syntax errors, with a human-readable message. *)

@@ -1,0 +1,32 @@
+type shape = Chain | Cycle | Star | Clique
+
+let shape_name = function
+  | Chain -> "chain"
+  | Cycle -> "cycle"
+  | Star -> "star"
+  | Clique -> "clique"
+
+let pow b e = int_of_float (float_of_int b ** float_of_int e)
+
+let validate shape n =
+  let min_n = match shape with Cycle -> 3 | Chain | Star | Clique -> 1 in
+  if n < min_n then
+    invalid_arg
+      (Printf.sprintf "Formulas: %s needs at least %d relations"
+         (shape_name shape) min_n)
+
+let csg shape n =
+  validate shape n;
+  match shape with
+  | Chain -> n * (n + 1) / 2
+  | Cycle -> (n * n) - n + 1
+  | Star -> pow 2 (n - 1) + n - 1
+  | Clique -> pow 2 n - 1
+
+let ccp shape n =
+  validate shape n;
+  match shape with
+  | Chain -> ((n * n * n) - n) / 6
+  | Cycle -> ((n * n * n) - (2 * n * n) + n) / 2
+  | Star -> if n = 1 then 0 else (n - 1) * pow 2 (n - 2)
+  | Clique -> (pow 3 n - pow 2 (n + 1) + 1) / 2

@@ -1,0 +1,28 @@
+(** Closed-form search-space sizes for the standard graph shapes.
+
+    From the complexity analysis the paper builds on (Moerkotte &
+    Neumann, VLDB 2006): the number of connected subgraphs (#csg = DP
+    table entries) and of csg-cmp-pairs (#ccp = the lower bound on
+    cost-function calls of any DP enumerator) for chain, cycle, star
+    and clique queries over [n] relations:
+
+    {v
+              #csg                    #ccp
+    chain     n(n+1)/2                (n³ − n)/6
+    cycle     n² − n + 1              (n³ − 2n² + n)/2
+    star      2^(n−1) + n − 1         (n−1)·2^(n−2)
+    clique    2^n − 1                 (3^n − 2^(n+1) + 1)/2
+    v}
+
+    Used by the test suite to validate the brute-force enumerator and
+    by the benchmark report to annotate measured counters. *)
+
+type shape = Chain | Cycle | Star | Clique
+
+val csg : shape -> int -> int
+(** [csg shape n] for [n] total relations.  @raise Invalid_argument
+    for [n < 1] ([n < 3] for cycles). *)
+
+val ccp : shape -> int -> int
+
+val shape_name : shape -> string

@@ -1,0 +1,41 @@
+module Ot = Relalg.Optree
+module P = Relalg.Predicate
+module Op = Relalg.Operator
+
+(* Left-deep tree builder: fold relations 1..n-1 onto R0 with
+   per-level operator and predicate. *)
+let left_deep ~n_rel ~op_of ~pred_of =
+  let acc = ref (Ot.leaf 0 "R0") in
+  for i = 1 to n_rel - 1 do
+    let leaf = Ot.leaf i (Printf.sprintf "R%d" i) in
+    acc := Ot.op (op_of i) (pred_of i) !acc leaf
+  done;
+  !acc
+
+let star_antijoins ?p:_ ~n_rel ~k () =
+  if k < 0 || k > n_rel - 1 then
+    invalid_arg "Noninner.star_antijoins: k out of range";
+  left_deep ~n_rel
+    ~op_of:(fun i -> if i <= k then Op.left_anti else Op.join)
+    ~pred_of:(fun i -> P.eq_cols 0 (Printf.sprintf "a%d" i) i "b")
+
+let cycle_outerjoins ?p:_ ~n_rel ~k () =
+  if k < 0 || k > n_rel - 1 then
+    invalid_arg "Noninner.cycle_outerjoins: k out of range";
+  left_deep ~n_rel
+    ~op_of:(fun i -> if i <= k then Op.left_outer else Op.join)
+    ~pred_of:(fun i ->
+      let link = P.eq_cols (i - 1) "x" i "y" in
+      if i = n_rel - 1 then P.And (link, P.eq_cols i "x" 0 "y") else link)
+
+let star_optree ?p ~n_rel () = star_antijoins ?p ~n_rel ~k:0 ()
+
+let catalog_of ?(p = Shapes.default_params) tree =
+  let rng = Shapes.rng_of p in
+  let cards =
+    List.map (fun (l : Ot.leaf) -> (l.node, Shapes.rand_card p rng)) (Ot.leaves tree)
+  in
+  fun i ->
+    match List.assoc_opt i cards with
+    | Some c -> c
+    | None -> invalid_arg (Printf.sprintf "catalog_of: unknown relation %d" i)

@@ -1,0 +1,34 @@
+(** The non-inner-join workloads of Section 5.8.
+
+    Both experiments build an {e initial operator tree} (conflict
+    analysis needs one — a hypergraph alone does not capture non-inner
+    semantics), not a hypergraph; the conflicts library turns the tree
+    into either restrictive hyperedges or a SES-graph plus TES filter.
+
+    - {!star_antijoins}: a left-deep tree over a star query with 16
+      relations where the first [k] satellite joins are antijoins and
+      the rest inner joins ("the antijoins are more restrictive than
+      inner joins", so the search space shrinks with [k]).
+    - {!cycle_outerjoins}: a left-deep tree over a cycle query with 16
+      relations where the first [k] joins are left outer joins. *)
+
+val star_antijoins :
+  ?p:Shapes.params -> n_rel:int -> k:int -> unit -> Relalg.Optree.t
+(** [star_antijoins ~n_rel ~k]: relations R0 (hub) … R(n_rel−1); the
+    tree is (((R0 ▷ R1) ▷ R2) … ⋈ R(n_rel−1)) with [k] antijoins
+    first.  @raise Invalid_argument unless [0 ≤ k ≤ n_rel − 1]. *)
+
+val cycle_outerjoins :
+  ?p:Shapes.params -> n_rel:int -> k:int -> unit -> Relalg.Optree.t
+(** [cycle_outerjoins ~n_rel ~k]: left-deep tree over the cycle
+    R0—R1—…—R(n_rel−1)—R0; the first [k] operators are left outer
+    joins, the rest inner; the cycle-closing predicate joins the last
+    relation with R0 (conjoined into the final operator). *)
+
+val star_optree : ?p:Shapes.params -> n_rel:int -> unit -> Relalg.Optree.t
+(** Plain inner-join left-deep star tree (the [k = 0] case), shared by
+    tests. *)
+
+val catalog_of : ?p:Shapes.params -> Relalg.Optree.t -> (int -> float)
+(** Deterministic per-relation cardinalities for a tree's leaves —
+    used when deriving hypergraphs from trees. *)

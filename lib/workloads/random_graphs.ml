@@ -1,0 +1,92 @@
+module Ns = Nodeset.Node_set
+module G = Hypergraph.Graph
+module He = Hypergraph.Hyperedge
+
+let spanning_tree rng n =
+  (* random attachment: node i links to a uniform previous node *)
+  List.init (n - 1) (fun i ->
+      let child = i + 1 in
+      (Random.State.int rng child, child))
+
+let simple ?(p = Shapes.default_params) ~seed ~n ~extra_edges () =
+  if n < 1 then invalid_arg "Random_graphs.simple: n must be >= 1";
+  let rng = Random.State.make [| p.Shapes.seed; seed |] in
+  let tree = if n = 1 then [] else spanning_tree rng n in
+  let have = Hashtbl.create 16 in
+  List.iter (fun (a, b) -> Hashtbl.replace have (min a b, max a b) ()) tree;
+  let extras = ref [] in
+  if n >= 2 then
+    for _ = 1 to extra_edges do
+      let a = Random.State.int rng n and b = Random.State.int rng n in
+      if a <> b && not (Hashtbl.mem have (min a b, max a b)) then begin
+        Hashtbl.replace have (min a b, max a b) ();
+        extras := (min a b, max a b) :: !extras
+      end
+    done;
+  let pairs = tree @ List.rev !extras in
+  let rels =
+    Array.init n (fun i ->
+        G.base_rel ~card:(Shapes.rand_card p rng) (Printf.sprintf "T%d" i))
+  in
+  let edges =
+    List.mapi
+      (fun id (a, b) ->
+        He.simple
+          ~pred:(Relalg.Predicate.eq_cols a (Printf.sprintf "c%d" b) b (Printf.sprintf "c%d" a))
+          ~sel:(Shapes.rand_sel p rng) ~id a b)
+      pairs
+  in
+  G.make rels (Array.of_list edges)
+
+let random_subset rng ~universe ~size =
+  (* sample without replacement from the members of [universe] *)
+  let members = Array.of_list (Ns.to_list universe) in
+  let len = Array.length members in
+  for i = len - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = members.(i) in
+    members.(i) <- members.(j);
+    members.(j) <- t
+  done;
+  let s = ref Ns.empty in
+  for i = 0 to min size len - 1 do
+    s := Ns.add members.(i) !s
+  done;
+  !s
+
+let hyper ?(p = Shapes.default_params) ~seed ~n ~extra_edges ~hyperedges
+    ~max_hypernode () =
+  let base = simple ~p ~seed ~n ~extra_edges () in
+  if n < 3 || hyperedges = 0 then base
+  else begin
+    let rng = Random.State.make [| p.Shapes.seed; seed; 7 |] in
+    let all = G.all_nodes base in
+    let next_id = ref (G.num_edges base) in
+    let extra = ref [] in
+    for _ = 1 to hyperedges do
+      let size_u = 1 + Random.State.int rng max_hypernode in
+      let size_v = 1 + Random.State.int rng max_hypernode in
+      (* force a true hyperedge: at least one side with >= 2 nodes *)
+      let size_u = if size_u = 1 && size_v = 1 then 2 else size_u in
+      if size_u + size_v <= n then begin
+        let u = random_subset rng ~universe:all ~size:size_u in
+        let v = random_subset rng ~universe:(Ns.diff all u) ~size:size_v in
+        if (not (Ns.is_empty u)) && not (Ns.is_empty v) then begin
+          let pred =
+            Relalg.Predicate.eq
+              (Relalg.Scalar.Add
+                 ( Relalg.Scalar.col (Ns.min_elt u) "h",
+                   Relalg.Scalar.col (Ns.max_elt u) "h" ))
+              (Relalg.Scalar.col (Ns.min_elt v) "h")
+          in
+          extra :=
+            He.make ~pred ~sel:(Shapes.rand_sel p rng) ~id:!next_id u v
+            :: !extra;
+          incr next_id
+        end
+      end
+    done;
+    G.make
+      (Array.init n (fun i -> G.relation base i))
+      (Array.append (G.edges base) (Array.of_list (List.rev !extra)))
+  end

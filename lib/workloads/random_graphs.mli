@@ -1,0 +1,20 @@
+(** Random connected query graphs for property-based testing.
+
+    Simple graphs come from a random spanning tree plus extra edges;
+    hypergraphs additionally get random plain hyperedges with disjoint
+    hypernodes.  All generation is deterministic per seed. *)
+
+val simple :
+  ?p:Shapes.params -> seed:int -> n:int -> extra_edges:int -> unit ->
+  Hypergraph.Graph.t
+(** Connected simple graph: a random spanning tree over [n] nodes plus
+    up to [extra_edges] random distinct chords. *)
+
+val hyper :
+  ?p:Shapes.params ->
+  seed:int -> n:int -> extra_edges:int -> hyperedges:int ->
+  max_hypernode:int -> unit ->
+  Hypergraph.Graph.t
+(** {!simple} plus up to [hyperedges] random plain hyperedges whose
+    hypernodes have 1–[max_hypernode] members each (at least one side
+    with ≥ 2 members, so they are true hyperedges). *)

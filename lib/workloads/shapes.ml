@@ -1,0 +1,76 @@
+module Ns = Nodeset.Node_set
+module G = Hypergraph.Graph
+module He = Hypergraph.Hyperedge
+
+type params = {
+  seed : int;
+  min_card : float;
+  max_card : float;
+  min_sel : float;
+  max_sel : float;
+}
+
+let default_params =
+  { seed = 42; min_card = 100.0; max_card = 10_000.0; min_sel = 0.001; max_sel = 0.5 }
+
+let rng_of p = Random.State.make [| p.seed |]
+
+let rand_range rng lo hi = lo +. Random.State.float rng (hi -. lo)
+
+let rand_card p rng = Float.round (rand_range rng p.min_card p.max_card)
+
+let rand_sel p rng = rand_range rng p.min_sel p.max_sel
+
+(* Simple equality predicate Ra.x = Rb.y so that derived operator
+   trees and executors have something real to evaluate. *)
+let edge_pred a b = Relalg.Predicate.eq_cols a (Printf.sprintf "c%d" b) b (Printf.sprintf "c%d" a)
+
+let relations p rng prefix n =
+  Array.init n (fun i ->
+      G.base_rel ~card:(rand_card p rng) (Printf.sprintf "%s%d" prefix i))
+
+let of_pairs ?(p = default_params) ~prefix n pairs =
+  let rng = rng_of p in
+  let rels = relations p rng prefix n in
+  let edges =
+    List.mapi
+      (fun id (a, b) ->
+        He.simple ~pred:(edge_pred a b) ~sel:(rand_sel p rng) ~id a b)
+      pairs
+  in
+  G.make rels (Array.of_list edges)
+
+let chain ?p n =
+  if n < 1 then invalid_arg "Shapes.chain: n must be >= 1";
+  of_pairs ?p ~prefix:"T" n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let cycle ?p n =
+  if n < 3 then invalid_arg "Shapes.cycle: n must be >= 3";
+  of_pairs ?p ~prefix:"T" n
+    (List.init (n - 1) (fun i -> (i, i + 1)) @ [ (n - 1, 0) ])
+
+let star ?p k =
+  if k < 1 then invalid_arg "Shapes.star: need at least one satellite";
+  of_pairs ?p ~prefix:"D" (k + 1) (List.init k (fun i -> (0, i + 1)))
+
+let clique ?p n =
+  if n < 2 then invalid_arg "Shapes.clique: n must be >= 2";
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      pairs := (i, j) :: !pairs
+    done
+  done;
+  of_pairs ?p ~prefix:"T" n (List.rev !pairs)
+
+let grid ?p ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Shapes.grid: empty grid";
+  let idx r c = (r * cols) + c in
+  let pairs = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then pairs := (idx r c, idx r (c + 1)) :: !pairs;
+      if r + 1 < rows then pairs := (idx r c, idx (r + 1) c) :: !pairs
+    done
+  done;
+  of_pairs ?p ~prefix:"T" (rows * cols) (List.rev !pairs)

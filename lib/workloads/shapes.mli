@@ -1,0 +1,45 @@
+(** Classic query-graph shapes: chain, cycle, star, clique, grid.
+
+    These are the standard join-ordering benchmark graphs ("in the
+    literature, we often find the use of chain, cycle, star, and
+    clique queries", Section 4).  All generators are deterministic for
+    a given parameter record: relation cardinalities and edge
+    selectivities come from a seeded PRNG so that benchmark runs are
+    reproducible and algorithms see identical catalogs. *)
+
+type params = {
+  seed : int;
+  min_card : float;
+  max_card : float;
+  min_sel : float;
+  max_sel : float;
+}
+
+val default_params : params
+(** seed 42, cardinalities in [100, 10000], selectivities in
+    [0.001, 0.5]. *)
+
+val chain : ?p:params -> int -> Hypergraph.Graph.t
+(** [chain n] — relations R0 … R(n-1), edges Ri—R(i+1).
+    @raise Invalid_argument if [n < 1]. *)
+
+val cycle : ?p:params -> int -> Hypergraph.Graph.t
+(** [cycle n] — chain plus the closing edge R(n-1)—R0 ([n ≥ 3]). *)
+
+val star : ?p:params -> int -> Hypergraph.Graph.t
+(** [star k] — center R0 and [k] satellites R1 … Rk, edges R0—Ri.
+    The satellite count convention matches the paper ("star queries
+    with four satellite relations" = 5 relations). *)
+
+val clique : ?p:params -> int -> Hypergraph.Graph.t
+(** [clique n] — every pair connected. *)
+
+val grid : ?p:params -> rows:int -> cols:int -> unit -> Hypergraph.Graph.t
+(** [grid ~rows ~cols] — lattice adjacency; a denser-than-chain,
+    sparser-than-clique shape used by our extension benchmarks. *)
+
+val rng_of : params -> Random.State.t
+
+val rand_card : params -> Random.State.t -> float
+
+val rand_sel : params -> Random.State.t -> float

@@ -1,0 +1,76 @@
+module Ns = Nodeset.Node_set
+module G = Hypergraph.Graph
+module He = Hypergraph.Hyperedge
+
+let halves s =
+  let k = Ns.cardinal s / 2 in
+  let lo = ref Ns.empty and n = ref 0 in
+  Ns.iter
+    (fun v ->
+      if !n < k then lo := Ns.add v !lo;
+      incr n)
+    s;
+  (!lo, Ns.diff s !lo)
+
+let split_edge (e : He.t) ~id1 ~id2 =
+  if He.is_simple e then invalid_arg "Splits.split_edge: edge already simple";
+  (* a singleton hypernode cannot halve: both children keep it *)
+  let halves_or_self s = if Ns.is_singleton s then (s, s) else halves s in
+  let u_lo, u_hi = halves_or_self e.u and v_lo, v_hi = halves_or_self e.v in
+  (* Child selectivities multiply back to the parent's, keeping the
+     cost landscape comparable across split levels. *)
+  let sel = sqrt e.sel in
+  let child id u v =
+    let pred = Relalg.Predicate.eq_cols (Ns.min_elt u) "h" (Ns.min_elt v) "h" in
+    He.make ~op:e.op ~pred ~sel ~id u v
+  in
+  (child id1 u_lo v_hi, child id2 u_hi v_lo)
+
+let reid id (e : He.t) = { e with He.id }
+
+(* Generate the family: the base simple edges stay fixed; the
+   hyperedge work list starts with the one big edge and is split
+   breadth-first (pop head, append children). *)
+let family base_graph big_u big_v ~sel =
+  let base_edges = Array.to_list (G.edges base_graph) in
+  let nbase = List.length base_edges in
+  let pred =
+    Relalg.Predicate.eq_cols (Ns.min_elt big_u) "h" (Ns.min_elt big_v) "h"
+  in
+  let big = He.make ~pred ~sel ~id:nbase big_u big_v in
+  let rels =
+    Array.init (G.num_nodes base_graph) (fun i -> G.relation base_graph i)
+  in
+  let graph_of hyper =
+    let all = base_edges @ hyper in
+    G.make rels (Array.of_list (List.mapi reid all))
+  in
+  let rec go acc queue =
+    let acc = graph_of queue :: acc in
+    match List.partition (fun e -> not (He.is_simple e)) queue with
+    | [], _ -> List.rev acc
+    | first :: rest_complex, simple ->
+        let c1, c2 = split_edge first ~id1:0 ~id2:0 in
+        (* order: already-simple edges keep position; remaining complex
+           edges stay FIFO with the two children appended *)
+        go acc (simple @ rest_complex @ [ c1; c2 ])
+  in
+  go [] [ big ]
+
+let cycle_based ?(p = Shapes.default_params) n =
+  if n < 4 || n mod 2 <> 0 then
+    invalid_arg "Splits.cycle_based: need even n >= 4";
+  let base = Shapes.cycle ~p n in
+  let rng = Shapes.rng_of { p with seed = p.seed + 1 } in
+  let sel = Shapes.rand_sel p rng in
+  family base (Ns.range 0 ((n / 2) - 1)) (Ns.range (n / 2) (n - 1)) ~sel
+
+let star_based ?(p = Shapes.default_params) k =
+  if k < 4 || k mod 2 <> 0 then
+    invalid_arg "Splits.star_based: need an even satellite count >= 4";
+  let base = Shapes.star ~p k in
+  let rng = Shapes.rng_of { p with seed = p.seed + 1 } in
+  let sel = Shapes.rand_sel p rng in
+  family base (Ns.range 1 (k / 2)) (Ns.range ((k / 2) + 1) k) ~sel
+
+let num_splits fam = List.length fam - 1

@@ -1,0 +1,34 @@
+(** The hyperedge-splitting families of Section 4.
+
+    "The general design principle of our hypergraphs is that we start
+    with a simple graph and add one big hyperedge to it.  Then, we
+    successively split the hyperedge into two smaller ones until we
+    reach simple edges."
+
+    A split of [(A, B)] halves both hypernodes (low node-order half
+    vs. high) and yields the crossed children [(A_lo, B_hi)] and
+    [(A_hi, B_lo)] — the pairing that turns the paper's cycle-8 G0
+    into its G1.  Splits are applied breadth-first, one hyperedge per
+    step, so the family over a size-[2k] hyperedge has [k] proper
+    split levels ending in simple edges: levels 0..1 for 4 relations,
+    0..3 for 8, 0..7 for 16, matching the x-axes of Figures 5 and 6. *)
+
+val split_edge :
+  Hypergraph.Hyperedge.t -> id1:int -> id2:int ->
+  Hypergraph.Hyperedge.t * Hypergraph.Hyperedge.t
+(** One split step; children share the parent's payload and halve its
+    hypernodes.  @raise Invalid_argument on a simple edge. *)
+
+val cycle_based : ?p:Shapes.params -> int -> Hypergraph.Graph.t list
+(** [cycle_based n] for even [n ≥ 4]: the list [G0; G1; …] where G0
+    is the [n]-cycle plus the hyperedge
+    [({R0..R(n/2-1)}, {R(n/2)..R(n-1)})] and each Gi+1 splits one
+    hyperedge of Gi.  Length is [n/2] (split counts 0 .. n/2 − 1). *)
+
+val star_based : ?p:Shapes.params -> int -> Hypergraph.Graph.t list
+(** [star_based k] for even [k ≥ 4] satellites: G0 is the star plus
+    the hyperedge [({R1..R(k/2)}, {R(k/2+1)..Rk})]; split levels as
+    above (k/2 of them). *)
+
+val num_splits : Hypergraph.Graph.t list -> int
+(** [List.length family - 1], for labeling benchmark rows. *)

@@ -1,0 +1,603 @@
+(* Conflict analysis tests: OC matrix, SES/TES, hyperedge derivation,
+   outer-join simplification, both detection gates. *)
+
+module Ns = Nodeset.Node_set
+module Op = Relalg.Operator
+module P = Relalg.Predicate
+module Ot = Relalg.Optree
+module An = Conflicts.Analysis
+module Cr = Conflicts.Conflict_rules
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ns = Ns.of_list
+
+(* ---------- OC matrix (Section 5.5 formula, exhaustively) ---------- *)
+
+let oc_formula k1 k2 =
+  (* (∘1 = B ∧ ∘2 = M) ∨ (∘1 ≠ B ∧ ¬(∘1 = ∘2 = P) ∧ ¬(∘1 = M ∧ ∘2 ∈ {P,M})) *)
+  (k1 = Op.Inner && k2 = Op.Full_outer)
+  || (k1 <> Op.Inner
+     && (not (k1 = Op.Left_outer && k2 = Op.Left_outer))
+     && not (k1 = Op.Full_outer && (k2 = Op.Left_outer || k2 = Op.Full_outer)))
+
+let test_oc_matrix () =
+  List.iter
+    (fun (k1, k2, v) ->
+      check
+        (Printf.sprintf "OC(%s,%s)" (Op.symbol (Op.make k1)) (Op.symbol (Op.make k2)))
+        (oc_formula k1 k2) v)
+    Cr.table;
+  check_int "36 entries" 36 (List.length Cr.table)
+
+let test_oc_selected_cases () =
+  (* spot checks straight from the paper's Figure 9 *)
+  check "join assoc (4.44)" false (Cr.oc Op.join Op.join);
+  check "join under full outer conflicts (GOJ 4.54)" true
+    (Cr.oc Op.join Op.full_outer);
+  check "louter chain ok (4.46)" false (Cr.oc Op.left_outer Op.left_outer);
+  check "louter under join conflicts (4.48)" true (Cr.oc Op.left_outer Op.join);
+  check "M-M ok (4.50)" false (Cr.oc Op.full_outer Op.full_outer);
+  check "M under P ok (4.51)" false (Cr.oc Op.full_outer Op.left_outer);
+  check "semi lower always conflicts" true (Cr.oc Op.left_semi Op.join);
+  check "anti lower always conflicts" true (Cr.oc Op.left_anti Op.left_outer);
+  check "dependent counterparts alike" true
+    (Cr.oc (Op.to_dependent Op.left_semi) Op.join = Cr.oc Op.left_semi Op.join)
+
+(* ---------- SES ---------- *)
+
+let test_ses_basic () =
+  let t =
+    Ot.join (P.eq_cols 0 "a" 2 "b")
+      (Ot.join (P.eq_cols 0 "a" 1 "a") (Ot.leaf 0 "A") (Ot.leaf 1 "B"))
+      (Ot.leaf 2 "C")
+  in
+  let a = An.analyze t in
+  Alcotest.(check (list int)) "inner op ses" [ 0; 1 ]
+    (Ns.to_list a.ops.(0).An.ses);
+  Alcotest.(check (list int)) "root ses" [ 0; 2 ] (Ns.to_list a.ops.(1).An.ses)
+
+let test_ses_nestjoin_aggs () =
+  (* SES of a nestjoin includes tables referenced by aggregate args *)
+  let t =
+    Ot.op
+      ~aggs:[ Relalg.Aggregate.sum "s" (Relalg.Scalar.col 1 "x") ]
+      Op.left_nest (P.eq_cols 0 "k" 1 "k") (Ot.leaf 0 "A") (Ot.leaf 1 "B")
+  in
+  let a = An.analyze t in
+  Alcotest.(check (list int)) "nest ses" [ 0; 1 ] (Ns.to_list a.ops.(0).An.ses)
+
+(* ---------- scope pinning ---------- *)
+
+let test_pinning_rules () =
+  let mk op =
+    Ot.op op (P.eq_cols 0 "v" 1 "v")
+      (Ot.leaf 0 "A")
+      (Ot.join (P.eq_cols 1 "v" 2 "v") (Ot.leaf 1 "B") (Ot.leaf 2 "C"))
+  in
+  (* inner join: TES = SES *)
+  let a = An.analyze (mk Op.join) in
+  Alcotest.(check (list int)) "inner not pinned" [ 0; 1 ]
+    (Ns.to_list a.ops.(1).An.tes);
+  (* louter: right side pinned *)
+  let a = An.analyze (mk Op.left_outer) in
+  Alcotest.(check (list int)) "louter pins right" [ 0; 1; 2 ]
+    (Ns.to_list a.ops.(1).An.tes);
+  (* full outer: both sides pinned *)
+  let a = An.analyze (mk Op.full_outer) in
+  Alcotest.(check (list int)) "fullouter pins both" [ 0; 1; 2 ]
+    (Ns.to_list a.ops.(1).An.tes)
+
+(* ---------- TES: the paper's experimental workloads ---------- *)
+
+let test_antijoin_star_conservative () =
+  (* Under the conservative gate, hub-sharing antijoins pin the
+     original order: TES(op_i) = {R0..Ri}, the behaviour behind
+     Figure 8a ("search space reduced from O(n²) to O(n)"). *)
+  let tree = Workloads.Noninner.star_antijoins ~n_rel:5 ~k:4 () in
+  let a = An.analyze ~conservative:true tree in
+  Array.iteri
+    (fun i info ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "TES(op%d)" i)
+        (List.init (i + 2) Fun.id)
+        (Ns.to_list info.An.tes))
+    a.ops
+
+let test_antijoin_star_literal () =
+  (* Under the literal path gate, hub-sharing antijoins commute
+     (Equation 2): TES = SES and all edges stay simple. *)
+  let tree = Workloads.Noninner.star_antijoins ~n_rel:5 ~k:4 () in
+  let a = An.analyze tree in
+  Array.iter
+    (fun info -> check "TES = SES" true (Ns.equal info.An.tes info.An.ses))
+    a.ops
+
+let test_louter_under_join_absorbed () =
+  (* (A ⟕p(A,B) B) ⋈p(B,C) C: the join predicate touches the padded
+     side, so the join absorbs the outer join's TES *)
+  let t =
+    Ot.join (P.eq_cols 1 "v" 2 "v")
+      (Ot.op Op.left_outer (P.eq_cols 0 "v" 1 "v") (Ot.leaf 0 "A") (Ot.leaf 1 "B"))
+      (Ot.leaf 2 "C")
+  in
+  let a = An.analyze t in
+  Alcotest.(check (list int)) "join TES" [ 0; 1; 2 ] (Ns.to_list a.ops.(1).An.tes);
+  let l, r = An.hyperedge_sides a.ops.(1) in
+  Alcotest.(check (list int)) "l" [ 0; 1 ] (Ns.to_list l);
+  Alcotest.(check (list int)) "r" [ 2 ] (Ns.to_list r)
+
+let test_louter_under_join_free () =
+  (* (A ⟕p(A,B) B) ⋈p(A,C) C: predicate anchored on the preserved
+     side — no conflict, simple edge ({A},{C}) *)
+  let t =
+    Ot.join (P.eq_cols 0 "v" 2 "v")
+      (Ot.op Op.left_outer (P.eq_cols 0 "v" 1 "v") (Ot.leaf 0 "A") (Ot.leaf 1 "B"))
+      (Ot.leaf 2 "C")
+  in
+  let a = An.analyze t in
+  Alcotest.(check (list int)) "join TES stays" [ 0; 2 ]
+    (Ns.to_list a.ops.(1).An.tes)
+
+let test_transitive_padding_conflict () =
+  (* nest over a louter chain where the nest anchor is only
+     transitively nullable — the path-based RightTables must fire
+     (the seed-325 regression from development) *)
+  let t =
+    Ot.op
+      ~aggs:[ Relalg.Aggregate.count "c" ]
+      Op.left_nest (P.eq_cols 2 "v" 3 "v")
+      (Ot.op Op.left_outer (P.eq_cols 1 "v" 2 "v")
+         (Ot.op Op.left_outer (P.eq_cols 0 "v" 1 "v") (Ot.leaf 0 "A")
+            (Ot.leaf 1 "B"))
+         (Ot.leaf 2 "C"))
+      (Ot.leaf 3 "D")
+  in
+  let a = An.analyze t in
+  (* op0 = louter(A,B), op1 = louter(.,C), op2 = nest *)
+  check "nest absorbs inner louter" true (Ns.mem 0 a.ops.(2).An.tes);
+  Alcotest.(check (list int)) "nest TES pins everything" [ 0; 1; 2; 3 ]
+    (Ns.to_list a.ops.(2).An.tes)
+
+let test_nestjoin_attribute_rule () =
+  (* a predicate referencing the nestjoin's computed attribute forces
+     the nestjoin below it *)
+  let nest =
+    Ot.op
+      ~aggs:[ Relalg.Aggregate.count "cnt" ]
+      Op.left_nest (P.eq_cols 0 "k" 1 "k") (Ot.leaf 0 "A") (Ot.leaf 1 "B")
+  in
+  let t =
+    Ot.join
+      (P.Cmp (P.Eq, Relalg.Scalar.Col (1, "cnt"), Relalg.Scalar.Col (2, "x")))
+      nest (Ot.leaf 2 "C")
+  in
+  let a = An.analyze t in
+  check "join absorbs nest TES" true (Ns.subset (ns [ 0; 1 ]) a.ops.(1).An.tes);
+  (* without the attribute reference there is no absorption *)
+  let t2 = Ot.join (P.eq_cols 0 "x" 2 "x") nest (Ot.leaf 2 "C") in
+  let a2 = An.analyze t2 in
+  Alcotest.(check (list int)) "no absorption" [ 0; 2 ]
+    (Ns.to_list a2.ops.(1).An.tes)
+
+let test_analyze_rejects_invalid () =
+  let bad = Ot.join (P.eq_cols 0 "v" 1 "v") (Ot.leaf 1 "B") (Ot.leaf 0 "A") in
+  check "invalid tree rejected" true
+    (try
+       ignore (An.analyze bad);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- hyperedge derivation ---------- *)
+
+let test_derive_hypergraph () =
+  let tree = Workloads.Noninner.star_antijoins ~n_rel:4 ~k:3 () in
+  let a = An.analyze ~conservative:true tree in
+  let g = Conflicts.Derive.hypergraph ~cards:(fun i -> float_of_int (100 * (i + 1))) a in
+  check_int "one edge per operator" 3 (Hypergraph.Graph.num_edges g);
+  check "connected" true (Hypergraph.Connectivity.is_connected_graph g);
+  Alcotest.(check (float 1e-9)) "cards propagated" 200.0
+    (Hypergraph.Graph.cardinality g 1);
+  (* edge operators recovered *)
+  Array.iter
+    (fun (e : Hypergraph.Hyperedge.t) ->
+      check "antijoin op on edge" true (e.op.Op.kind = Op.Left_anti))
+    (Hypergraph.Graph.edges g)
+
+let test_derive_ses_graph_filter () =
+  let tree = Workloads.Noninner.star_antijoins ~n_rel:4 ~k:3 () in
+  let a = An.analyze ~conservative:true tree in
+  let g, filter = Conflicts.Derive.ses_graph a in
+  (* SES edges are simple for this query *)
+  check "all simple" true (not (Hypergraph.Graph.has_hyperedges g));
+  (* the filter forbids applying antijoin 2 before antijoin 1:
+     pair ({R0},{R2}) via edge 1 must be rejected (TES l = {R0,R1}) *)
+  let e1 = Hypergraph.Graph.edge g 1 in
+  check "out-of-order pair rejected" false
+    (filter (ns [ 0 ]) (ns [ 2 ]) [ (e1, Hypergraph.Hyperedge.Forward) ]);
+  check "in-order pair accepted" true
+    (filter (ns [ 0; 1 ]) (ns [ 2 ]) [ (e1, Hypergraph.Hyperedge.Forward) ])
+
+let test_derived_same_optimum () =
+  (* hypergraph mode and ses+filter mode agree on the optimum *)
+  List.iter
+    (fun k ->
+      let tree = Workloads.Noninner.star_antijoins ~n_rel:6 ~k () in
+      let a = An.analyze ~conservative:true tree in
+      let g = Conflicts.Derive.hypergraph a in
+      let gs, filter = Conflicts.Derive.ses_graph a in
+      let c1 =
+        match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+        | Some p -> p.Plans.Plan.cost
+        | None -> nan
+      in
+      let c2 =
+        match (Core.Optimizer.run ~filter Core.Optimizer.Dphyp gs).plan with
+        | Some p -> p.Plans.Plan.cost
+        | None -> nan
+      in
+      check
+        (Printf.sprintf "k=%d same optimum" k)
+        true
+        (Float.abs (c1 -. c2) <= 1e-9 *. Float.max 1.0 c1))
+    [ 0; 2; 5 ]
+
+(* ---------- simplification ---------- *)
+
+let leafs () = (Ot.leaf 0 "A", Ot.leaf 1 "B", Ot.leaf 2 "C")
+
+let test_simplify_louter_to_join () =
+  (* (A ⟕p(A,B) B) ⋈p(B,C) C: the join predicate is strong on B, the
+     padded side — the louter must become a join *)
+  let a, b, c = leafs () in
+  let t =
+    Ot.join (P.eq_cols 1 "v" 2 "v")
+      (Ot.op Op.left_outer (P.eq_cols 0 "v" 1 "v") a b)
+      c
+  in
+  match Conflicts.Simplify.simplify t with
+  | Ot.Node { left = Ot.Node inner; _ } ->
+      check "upgraded" true (inner.op.Op.kind = Op.Inner)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_simplify_keeps_valid_louter () =
+  (* (A ⟕p(A,B) B) ⋈p(A,C) C: predicate on the preserved side — the
+     louter must stay *)
+  let a, b, c = leafs () in
+  let t =
+    Ot.join (P.eq_cols 0 "v" 2 "v")
+      (Ot.op Op.left_outer (P.eq_cols 0 "v" 1 "v") a b)
+      c
+  in
+  match Conflicts.Simplify.simplify t with
+  | Ot.Node { left = Ot.Node inner; _ } ->
+      check "preserved" true (inner.op.Op.kind = Op.Left_outer)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_simplify_fullouter () =
+  let a, b, c = leafs () in
+  (* join pred strong on A (left of the M): kills left padding → ⟕ *)
+  let t =
+    Ot.join (P.eq_cols 0 "v" 2 "v")
+      (Ot.op Op.full_outer (P.eq_cols 0 "v" 1 "v") a b)
+      c
+  in
+  (match Conflicts.Simplify.simplify t with
+  | Ot.Node { left = Ot.Node inner; _ } ->
+      check "M -> P" true (inner.op.Op.kind = Op.Left_outer)
+  | _ -> Alcotest.fail "unexpected shape");
+  (* join pred strong on both sides: M → inner *)
+  let t2 =
+    Ot.join (P.And (P.eq_cols 0 "v" 2 "v", P.eq_cols 1 "v" 2 "v"))
+      (Ot.op Op.full_outer (P.eq_cols 0 "v" 1 "v") a b)
+      c
+  in
+  match Conflicts.Simplify.simplify t2 with
+  | Ot.Node { left = Ot.Node inner; _ } ->
+      check "M -> B" true (inner.op.Op.kind = Op.Inner)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_simplify_fixpoint () =
+  (* upgrading an outer join enables a second upgrade below it *)
+  let t =
+    Ot.join (P.eq_cols 2 "v" 3 "v")
+      (Ot.op Op.left_outer (P.eq_cols 1 "v" 2 "v")
+         (Ot.op Op.left_outer (P.eq_cols 0 "v" 1 "v") (Ot.leaf 0 "A")
+            (Ot.leaf 1 "B"))
+         (Ot.leaf 2 "C"))
+      (Ot.leaf 3 "D")
+  in
+  (* top join strong on C → middle louter upgrades; its predicate
+     p(B,C) then becomes a join pred strong on B → inner louter
+     upgrades too *)
+  let rec count_louters = function
+    | Ot.Leaf _ -> 0
+    | Ot.Node n ->
+        (if n.op.Op.kind = Op.Left_outer then 1 else 0)
+        + count_louters n.left + count_louters n.right
+  in
+  check_int "all louters upgraded" 0 (count_louters (Conflicts.Simplify.simplify t))
+
+let test_simplify_behind_preserving_op_blocked () =
+  (* a louter whose strong predicate sits behind ANOTHER louter's
+     preserved side must NOT be simplified *)
+  let a, b, c = leafs () in
+  let t =
+    Ot.op Op.left_outer (P.eq_cols 1 "v" 2 "v")
+      (Ot.op Op.left_outer (P.eq_cols 0 "v" 1 "v") a b)
+      c
+  in
+  match Conflicts.Simplify.simplify t with
+  | Ot.Node { left = Ot.Node inner; _ } ->
+      check "not simplified" true (inner.op.Op.kind = Op.Left_outer)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_padding_killed_matrix () =
+  let padded = ns [ 1 ] in
+  let p = P.eq_cols 1 "v" 2 "v" in
+  let anc op side = [ (op, side, p) ] in
+  check "inner kills" true
+    (Conflicts.Simplify.padding_killed ~ancestors:(anc Op.join `FromLeft) padded);
+  check "semi kills" true
+    (Conflicts.Simplify.padding_killed ~ancestors:(anc Op.left_semi `FromLeft) padded);
+  check "anti left keeps" false
+    (Conflicts.Simplify.padding_killed ~ancestors:(anc Op.left_anti `FromLeft) padded);
+  check "anti right kills" true
+    (Conflicts.Simplify.padding_killed ~ancestors:(anc Op.left_anti `FromRight) padded);
+  check "louter left keeps" false
+    (Conflicts.Simplify.padding_killed ~ancestors:(anc Op.left_outer `FromLeft) padded);
+  check "louter right kills" true
+    (Conflicts.Simplify.padding_killed ~ancestors:(anc Op.left_outer `FromRight) padded);
+  check "fullouter keeps" false
+    (Conflicts.Simplify.padding_killed ~ancestors:(anc Op.full_outer `FromLeft) padded);
+  check "weak pred keeps" false
+    (Conflicts.Simplify.padding_killed
+       ~ancestors:[ (Op.join, `FromLeft, P.eq_cols 3 "v" 4 "v") ]
+       padded)
+
+let test_simplify_preserves_semantics () =
+  (* executable check on a handful of random trees *)
+  let ops = Op.[ join; left_outer; full_outer; left_semi; left_anti ] in
+  for seed = 0 to 30 do
+    let tree = Workloads.Random_trees.random_tree ~seed ~n:5 ~ops in
+    let simplified = Conflicts.Simplify.simplify tree in
+    let inst = Executor.Instance.for_tree ~seed:(seed + 999) tree in
+    let u = Executor.Exec.output_tables tree in
+    check
+      (Printf.sprintf "seed %d" seed)
+      true
+      (Executor.Bag.equal ~universe:u
+         (Executor.Exec.eval inst tree)
+         (Executor.Exec.eval inst simplified))
+  done
+
+(* ---------- reorderability property tables ---------- *)
+
+let mk_id kind pred l r =
+  let aggs =
+    if kind = Op.Left_nest then [ Relalg.Aggregate.count "cnt" ] else []
+  in
+  Ot.op ~aggs (Op.make kind) pred l r
+
+let rec visible = function
+  | Ot.Leaf l -> Ns.singleton l.Ot.node
+  | Ot.Node n -> (
+      let l = visible n.left and r = visible n.right in
+      match n.op.Op.kind with
+      | Op.Inner | Op.Left_outer | Op.Full_outer -> Ns.union l r
+      | Op.Left_semi | Op.Left_anti | Op.Left_nest -> l)
+
+let well_formed t =
+  let rec ok = function
+    | Ot.Leaf _ -> true
+    | Ot.Node n ->
+        Ns.subset
+          (P.free_tables n.pred)
+          (Ns.union (visible n.left) (visible n.right))
+        && ok n.left && ok n.right
+  in
+  ok t
+
+let identity_holds t1 t2 =
+  well_formed t1 && well_formed t2
+  &&
+  let u1 = List.sort compare (Executor.Exec.output_tables t1) in
+  let u2 = List.sort compare (Executor.Exec.output_tables t2) in
+  u1 = u2
+  && List.for_all
+       (fun seed ->
+         let inst = Executor.Instance.for_tree ~rows:5 ~domain:3 ~seed t1 in
+         Executor.Bag.equal ~universe:u1
+           (Executor.Exec.eval inst t1)
+           (Executor.Exec.eval inst t2))
+       (List.init 40 Fun.id)
+
+let test_property_tables_rederived () =
+  (* the hard-coded Properties tables must match what execution says *)
+  let a () = Ot.leaf 0 "A" and b () = Ot.leaf 1 "B" and c () = Ot.leaf 2 "C" in
+  let p01 = P.eq_cols 0 "v" 1 "v" in
+  let p12 = P.eq_cols 1 "w" 2 "w" in
+  let p02 = P.eq_cols 0 "u" 2 "u" in
+  List.iter
+    (fun ka ->
+      List.iter
+        (fun kb ->
+          let name p =
+            Printf.sprintf "%s(%s,%s)" p (Op.symbol (Op.make ka))
+              (Op.symbol (Op.make kb))
+          in
+          check (name "assoc")
+            (identity_holds
+               (mk_id kb p12 (mk_id ka p01 (a ()) (b ())) (c ()))
+               (mk_id ka p01 (a ()) (mk_id kb p12 (b ()) (c ()))))
+            (Conflicts.Properties.assoc_kind ka kb);
+          check (name "l-asscom")
+            (identity_holds
+               (mk_id kb p02 (mk_id ka p01 (a ()) (b ())) (c ()))
+               (mk_id ka p01 (mk_id kb p02 (a ()) (c ())) (b ())))
+            (Conflicts.Properties.l_asscom_kind ka kb);
+          check (name "r-asscom")
+            (identity_holds
+               (mk_id ka p02 (a ()) (mk_id kb p12 (b ()) (c ())))
+               (mk_id kb p12 (b ()) (mk_id ka p02 (a ()) (c ()))))
+            (Conflicts.Properties.r_asscom_kind ka kb))
+        Op.all_kinds)
+    Op.all_kinds
+
+let test_properties_spot_checks () =
+  (* the published shape of the tables *)
+  check "join assoc join" true (Conflicts.Properties.assoc Op.join Op.join);
+  check "join not assoc full outer" false
+    (Conflicts.Properties.assoc Op.join Op.full_outer);
+  check "louter assoc louter" true
+    (Conflicts.Properties.assoc Op.left_outer Op.left_outer);
+  check "l-asscom for left-linear pairs" true
+    (Conflicts.Properties.l_asscom Op.left_semi Op.left_anti);
+  check "r-asscom only join/join and M/M" true
+    (Conflicts.Properties.r_asscom Op.join Op.join
+    && Conflicts.Properties.r_asscom Op.full_outer Op.full_outer
+    && not (Conflicts.Properties.r_asscom Op.join Op.left_outer));
+  check "dependent behaves like regular" true
+    (Conflicts.Properties.assoc (Op.to_dependent Op.left_semi) Op.join
+    = Conflicts.Properties.assoc Op.left_semi Op.join)
+
+(* ---------- CD-C ---------- *)
+
+let test_cdc_rules_derived () =
+  (* (A ⟕ B) ⋈p(B,C) C: assoc(P,B) is false, so the join gets the rule
+     T(right(⟕)) → T(left(⟕)); l-asscom(P,B) holds, no second rule *)
+  let t =
+    Ot.join (P.eq_cols 1 "v" 2 "v")
+      (Ot.op Op.left_outer (P.eq_cols 0 "v" 1 "v") (Ot.leaf 0 "A") (Ot.leaf 1 "B"))
+      (Ot.leaf 2 "C")
+  in
+  let a = Conflicts.Cdc.analyze t in
+  let join_info = a.ops.(1) in
+  check_int "one rule" 1 (List.length join_info.Conflicts.Cdc.rules);
+  (match join_info.Conflicts.Cdc.rules with
+  | [ r ] ->
+      Alcotest.(check (list int)) "trigger = {B}" [ 1 ]
+        (Ns.to_list r.Conflicts.Cdc.trigger);
+      Alcotest.(check (list int)) "required = {A}" [ 0 ]
+        (Ns.to_list r.Conflicts.Cdc.required)
+  | _ -> Alcotest.fail "rule shape");
+  check "rule blocks B-first" false
+    (Conflicts.Cdc.rule_ok (ns [ 1; 2 ]) (List.hd join_info.Conflicts.Cdc.rules));
+  check "rule allows A,B,C" true
+    (Conflicts.Cdc.rule_ok (ns [ 0; 1; 2 ]) (List.hd join_info.Conflicts.Cdc.rules));
+  check "rule vacuous without B" true
+    (Conflicts.Cdc.rule_ok (ns [ 0; 2 ]) (List.hd join_info.Conflicts.Cdc.rules))
+
+let test_cdc_pipeline_equivalence () =
+  let ops =
+    Op.[ join; left_outer; full_outer; left_semi; left_anti; left_nest ]
+  in
+  for seed = 0 to 60 do
+    let tree =
+      Conflicts.Simplify.simplify
+        (Workloads.Random_trees.random_tree ~seed ~n:6 ~ops)
+    in
+    let a = Conflicts.Cdc.analyze tree in
+    let g, filter = Conflicts.Cdc.derive a in
+    match (Core.Optimizer.run ~filter Core.Optimizer.Dphyp g).plan with
+    | None -> Alcotest.failf "seed %d: no plan" seed
+    | Some plan ->
+        let inst = Executor.Instance.for_tree ~seed:(seed + 3000) tree in
+        let u = Executor.Exec.output_tables tree in
+        check
+          (Printf.sprintf "seed %d equivalent" seed)
+          true
+          (Executor.Bag.equal ~universe:u
+             (Executor.Exec.eval inst tree)
+             (Executor.Exec.eval inst (Plans.Plan.to_optree g plan)))
+  done
+
+let test_cdc_admits_louter_chain_reorder () =
+  (* right-nested louter chain: the 2008 scope-pinning forbids the
+     4.46 rotation; CD-C's assoc(P,P) rule does not *)
+  let t =
+    Ot.op Op.left_outer (P.eq_cols 0 "v" 1 "v") (Ot.leaf 0 "A")
+      (Ot.op Op.left_outer (P.eq_cols 1 "v" 2 "v") (Ot.leaf 1 "B")
+         (Ot.leaf 2 "C"))
+  in
+  let space_2008 =
+    let a = Conflicts.Analysis.analyze t in
+    let g = Conflicts.Derive.hypergraph a in
+    (Core.Optimizer.run Core.Optimizer.Dphyp g).counters
+      .Core.Counters.ccp_emitted
+  in
+  let space_cdc =
+    let a = Conflicts.Cdc.analyze t in
+    let g, filter = Conflicts.Cdc.derive a in
+    (Core.Optimizer.run ~filter Core.Optimizer.Dphyp g).counters
+      .Core.Counters.ccp_emitted
+  in
+  check "cdc explores more of the louter chain" true (space_cdc > space_2008)
+
+let () =
+  Alcotest.run "conflicts"
+    [
+      ( "oc",
+        [
+          Alcotest.test_case "matrix vs formula" `Quick test_oc_matrix;
+          Alcotest.test_case "figure 9 spot checks" `Quick test_oc_selected_cases;
+        ] );
+      ( "ses",
+        [
+          Alcotest.test_case "basic" `Quick test_ses_basic;
+          Alcotest.test_case "nestjoin aggs" `Quick test_ses_nestjoin_aggs;
+        ] );
+      ( "tes",
+        [
+          Alcotest.test_case "scope pinning" `Quick test_pinning_rules;
+          Alcotest.test_case "antijoin star conservative" `Quick
+            test_antijoin_star_conservative;
+          Alcotest.test_case "antijoin star literal" `Quick
+            test_antijoin_star_literal;
+          Alcotest.test_case "louter under join absorbed" `Quick
+            test_louter_under_join_absorbed;
+          Alcotest.test_case "louter under join free" `Quick
+            test_louter_under_join_free;
+          Alcotest.test_case "transitive padding" `Quick
+            test_transitive_padding_conflict;
+          Alcotest.test_case "nestjoin attribute rule" `Quick
+            test_nestjoin_attribute_rule;
+          Alcotest.test_case "rejects invalid tree" `Quick
+            test_analyze_rejects_invalid;
+        ] );
+      ( "derive",
+        [
+          Alcotest.test_case "hypergraph" `Quick test_derive_hypergraph;
+          Alcotest.test_case "ses graph + filter" `Quick test_derive_ses_graph_filter;
+          Alcotest.test_case "same optimum both modes" `Quick
+            test_derived_same_optimum;
+        ] );
+      ( "properties",
+        [
+          Alcotest.test_case "tables re-derived from execution" `Slow
+            test_property_tables_rederived;
+          Alcotest.test_case "published shape" `Quick test_properties_spot_checks;
+        ] );
+      ( "cdc",
+        [
+          Alcotest.test_case "rule derivation" `Quick test_cdc_rules_derived;
+          Alcotest.test_case "pipeline equivalence" `Quick
+            test_cdc_pipeline_equivalence;
+          Alcotest.test_case "admits louter-chain reorder" `Quick
+            test_cdc_admits_louter_chain_reorder;
+        ] );
+      ( "simplify",
+        [
+          Alcotest.test_case "louter to join" `Quick test_simplify_louter_to_join;
+          Alcotest.test_case "keeps valid louter" `Quick
+            test_simplify_keeps_valid_louter;
+          Alcotest.test_case "full outer" `Quick test_simplify_fullouter;
+          Alcotest.test_case "fixpoint" `Quick test_simplify_fixpoint;
+          Alcotest.test_case "blocked by preserving op" `Quick
+            test_simplify_behind_preserving_op_blocked;
+          Alcotest.test_case "padding_killed matrix" `Quick
+            test_padding_killed_matrix;
+          Alcotest.test_case "preserves semantics" `Quick
+            test_simplify_preserves_semantics;
+        ] );
+    ]

@@ -1,0 +1,599 @@
+(* Tests for the enumeration algorithms.
+
+   The two central theorems being checked:
+   1. DPhyp emits exactly the csg-cmp-pairs of the hypergraph, each
+      exactly once, in an order where sub-pairs precede super-pairs
+      (Section 2.2's requirement for dynamic programming).
+   2. All exact algorithms (DPhyp, DPsize, DPsub, DPccp, top-down
+      memoization) agree on the optimal plan cost. *)
+
+module Ns = Nodeset.Node_set
+module G = Hypergraph.Graph
+module He = Hypergraph.Hyperedge
+module Opt = Core.Optimizer
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ns = Ns.of_list
+
+let canon pairs =
+  List.sort_uniq compare
+    (List.map (fun (a, b) -> (Ns.to_int a, Ns.to_int b)) pairs)
+
+let cost_of (r : Opt.result) =
+  match r.plan with Some p -> p.Plans.Plan.cost | None -> nan
+
+let graphs_under_test () =
+  let p = Workloads.Shapes.default_params in
+  [
+    ("chain4", Workloads.Shapes.chain ~p 4);
+    ("chain7", Workloads.Shapes.chain ~p 7);
+    ("cycle5", Workloads.Shapes.cycle ~p 5);
+    ("cycle8", Workloads.Shapes.cycle ~p 8);
+    ("star4", Workloads.Shapes.star ~p 4);
+    ("star6", Workloads.Shapes.star ~p 6);
+    ("clique5", Workloads.Shapes.clique ~p 5);
+    ("grid2x3", Workloads.Shapes.grid ~p ~rows:2 ~cols:3 ());
+  ]
+  @ List.mapi
+      (fun i g -> (Printf.sprintf "cycle8-split%d" i, g))
+      (Workloads.Splits.cycle_based ~p 8)
+  @ List.mapi
+      (fun i g -> (Printf.sprintf "star6-split%d" i, g))
+      (Workloads.Splits.star_based ~p 6)
+  @ List.init 8 (fun seed ->
+        ( Printf.sprintf "rand-hyper-%d" seed,
+          Workloads.Random_graphs.hyper ~seed ~n:7 ~extra_edges:3 ~hyperedges:2
+            ~max_hypernode:3 () ))
+
+(* ---------- 1. emission exactness ---------- *)
+
+let test_dphyp_emits_exactly_ccps () =
+  List.iter
+    (fun (name, g) ->
+      let trace = Core.Dphyp.enumerate_ccps g in
+      let brute = Hypergraph.Csg_enum.csg_cmp_pairs g in
+      check_int (name ^ ": emission count = brute force")
+        (List.length brute) (List.length trace);
+      check (name ^ ": no duplicates") true
+        (List.length (canon trace) = List.length trace);
+      check (name ^ ": same set") true (canon trace = canon brute))
+    (graphs_under_test ())
+
+let test_dphyp_canonical_min_order () =
+  List.iter
+    (fun (name, g) ->
+      let trace = Core.Dphyp.enumerate_ccps g in
+      check (name ^ ": min(S1) < min(S2) for every emission") true
+        (List.for_all (fun (s1, s2) -> Ns.min_elt s1 < Ns.min_elt s2) trace))
+    (graphs_under_test ())
+
+let test_dphyp_dp_order () =
+  (* Before emitting (S1,S2), all (S1',S2') with S1'⊂S1, S2'⊂S2 must
+     already be out; equivalently, every strict sub-pair of an emitted
+     pair that IS a ccp appears earlier in the trace. *)
+  List.iter
+    (fun (name, g) ->
+      let trace = Core.Dphyp.enumerate_ccps g in
+      let seen = Hashtbl.create 256 in
+      let ok = ref true in
+      List.iter
+        (fun (s1, s2) ->
+          Hashtbl.iter
+            (fun _ () -> ())
+            seen;
+          (* check no later pair is a strict sub-pair of an earlier one *)
+          Hashtbl.iter
+            (fun (t1, t2) () ->
+              let t1 = Ns.unsafe_of_int t1 and t2 = Ns.unsafe_of_int t2 in
+              if
+                Ns.strict_subset s1 t1 && Ns.subset s2 t2
+                || (Ns.subset s1 t1 && Ns.strict_subset s2 t2)
+              then ok := false)
+            seen;
+          Hashtbl.replace seen (Ns.to_int s1, Ns.to_int s2) ())
+        trace;
+      check (name ^ ": subsets before supersets") true !ok)
+    (graphs_under_test ())
+
+(* ---------- 2. cross-algorithm agreement ---------- *)
+
+let agree name g algos =
+  let costs = List.map (fun a -> (a, cost_of (Opt.run a g))) algos in
+  match costs with
+  | [] -> ()
+  | (_, c0) :: rest ->
+      List.iter
+        (fun (a, c) ->
+          check
+            (Printf.sprintf "%s: %s cost matches dphyp" name (Opt.name a))
+            true
+            (Float.abs (c -. c0) <= 1e-9 *. Float.max 1.0 (Float.abs c0)))
+        rest
+
+let test_all_algorithms_agree () =
+  List.iter
+    (fun (name, g) ->
+      agree name g [ Opt.Dphyp; Opt.Dpsize; Opt.Dpsub; Opt.Topdown; Opt.Tdpart ];
+      if not (G.has_hyperedges g) then agree name g [ Opt.Dphyp; Opt.Dpccp ])
+    (graphs_under_test ())
+
+let test_agreement_under_cmm () =
+  let model = Costing.Cost_model.c_mm in
+  List.iter
+    (fun (name, g) ->
+      let c1 = cost_of (Opt.run ~model Opt.Dphyp g) in
+      let c2 = cost_of (Opt.run ~model Opt.Dpsub g) in
+      check (name ^ ": cmm agreement") true
+        (Float.abs (c1 -. c2) <= 1e-9 *. Float.max 1.0 c1))
+    (graphs_under_test ())
+
+let test_dpccp_matches_dphyp_trace () =
+  List.iter
+    (fun (name, g) ->
+      if not (G.has_hyperedges g) then begin
+        let t1 = canon (Core.Dphyp.enumerate_ccps g) in
+        let t2 = canon (Core.Dpccp.enumerate_ccps g) in
+        check (name ^ ": dpccp = dphyp pairs") true (t1 = t2)
+      end)
+    (graphs_under_test ())
+
+let test_dpccp_rejects_hypergraphs () =
+  let g = List.assoc "rand-hyper-0" (graphs_under_test ()) in
+  Alcotest.check_raises "dpccp on hypergraph"
+    (Invalid_argument "Dpccp: graph has hyperedges; use Dphyp") (fun () ->
+      ignore (Core.Dpccp.solve g))
+
+(* ---------- golden trace: the paper's Figure 2/3 example ---------- *)
+
+let fig2 () =
+  G.make
+    (Array.init 6 (fun i -> G.base_rel (Printf.sprintf "R%d" (i + 1))))
+    [|
+      He.simple ~id:0 0 1;
+      He.simple ~id:1 1 2;
+      He.simple ~id:2 3 4;
+      He.simple ~id:3 4 5;
+      He.make ~id:4 (ns [ 0; 1; 2 ]) (ns [ 3; 4; 5 ]);
+    |]
+
+let test_fig3_trace_golden () =
+  (* the nine csg-cmp-pairs of the paper's running example, in DPhyp
+     emission order (regression-pinned; matches the Figure 3 walk:
+     complements around R5/R4 first, then R2/R1, then the hyperedge
+     pair joining the halves) *)
+  let expected =
+    [
+      ([ 4 ], [ 5 ]);
+      ([ 3 ], [ 4 ]);
+      ([ 3 ], [ 4; 5 ]);
+      ([ 3; 4 ], [ 5 ]);
+      ([ 1 ], [ 2 ]);
+      ([ 0 ], [ 1 ]);
+      ([ 0 ], [ 1; 2 ]);
+      ([ 0; 1 ], [ 2 ]);
+      ([ 0; 1; 2 ], [ 3; 4; 5 ]);
+    ]
+  in
+  let got =
+    List.map
+      (fun (a, b) -> (Ns.to_list a, Ns.to_list b))
+      (Core.Dphyp.enumerate_ccps (fig2 ()))
+  in
+  Alcotest.(check (list (pair (list int) (list int)))) "figure 3 trace"
+    expected got
+
+(* ---------- counters ---------- *)
+
+let test_counters_dphyp_tight () =
+  (* on every graph, DPhyp's emitted ccp count equals the brute-force
+     count, and its considered pairs exceed it only by the failed
+     seed/extension candidates *)
+  List.iter
+    (fun (name, g) ->
+      let r = Opt.run Opt.Dphyp g in
+      let brute = Hypergraph.Csg_enum.count_csg_cmp_pairs g in
+      check_int (name ^ ": ccp counter") brute
+        r.counters.Core.Counters.ccp_emitted;
+      check (name ^ ": considered >= emitted") true
+        (r.counters.Core.Counters.pairs_considered
+        >= r.counters.Core.Counters.ccp_emitted))
+    (graphs_under_test ())
+
+let test_counters_baselines_waste () =
+  (* the paper's core observation: DPsize/DPsub examine far more
+     candidate pairs than there are ccps on sparse graphs *)
+  let g = Workloads.Shapes.chain 8 in
+  let hyp = Opt.run Opt.Dphyp g in
+  let size = Opt.run Opt.Dpsize g in
+  let sub = Opt.run Opt.Dpsub g in
+  let ccp = hyp.counters.Core.Counters.ccp_emitted in
+  check "dpsize wastes" true
+    (size.counters.Core.Counters.pairs_considered > 2 * ccp);
+  check "dpsub wastes" true
+    (sub.counters.Core.Counters.pairs_considered > 2 * ccp)
+
+let test_dp_entries_is_csg_count () =
+  List.iter
+    (fun (name, g) ->
+      let r = Opt.run Opt.Dphyp g in
+      check_int
+        (name ^ ": dp entries = connected subgraphs")
+        (Hypergraph.Csg_enum.count_connected_subgraphs g)
+        r.dp_entries)
+    (graphs_under_test ())
+
+(* ---------- plans are well-formed ---------- *)
+
+let test_plan_covers_all_relations () =
+  List.iter
+    (fun (name, g) ->
+      match (Opt.run Opt.Dphyp g).plan with
+      | Some p ->
+          check (name ^ ": plan covers V") true
+            (Ns.equal p.Plans.Plan.set (G.all_nodes g));
+          check_int (name ^ ": n-1 joins") (G.num_nodes g - 1)
+            (Plans.Plan.num_joins p)
+      | None -> Alcotest.failf "%s: no plan" name)
+    (graphs_under_test ())
+
+let test_plans_structurally_valid () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun algo ->
+          match (Opt.run algo g).plan with
+          | Some p -> (
+              match Plans.Plan_check.check g p with
+              | [] -> ()
+              | issues ->
+                  Alcotest.failf "%s/%s: %s" name (Opt.name algo)
+                    (String.concat "; "
+                       (List.map Plans.Plan_check.issue_to_string issues)))
+          | None -> Alcotest.failf "%s/%s: no plan" name (Opt.name algo))
+        (Opt.Dphyp :: Opt.Dpsize :: Opt.Dpsub :: Opt.Goo :: Opt.Topdown
+        :: Opt.Tdpart
+        :: (if G.has_hyperedges g then [] else [ Opt.Dpccp ])))
+    (graphs_under_test ())
+
+let test_no_cross_products () =
+  (* every join node of the optimal plan must apply at least one edge *)
+  let rec no_cross (p : Plans.Plan.t) =
+    match p.tree with
+    | Plans.Plan.Scan _ -> true
+    | Plans.Plan.Join j ->
+        j.edge_ids <> [] && no_cross j.left && no_cross j.right
+  in
+  List.iter
+    (fun (name, g) ->
+      match (Opt.run Opt.Dphyp g).plan with
+      | Some p -> check (name ^ ": no cross products") true (no_cross p)
+      | None -> Alcotest.failf "%s: no plan" name)
+    (graphs_under_test ())
+
+let test_tdpart_beats_naive () =
+  (* the point of partition search: near-ccp candidate counts where
+     naive memoization tests exponentially many splits *)
+  let g = Workloads.Shapes.chain 9 in
+  let tdp = Opt.run Opt.Tdpart g in
+  let naive = Opt.run Opt.Topdown g in
+  check "tdpart considers far fewer pairs" true
+    (tdp.counters.Core.Counters.pairs_considered * 5
+    < naive.counters.Core.Counters.pairs_considered)
+
+(* ---------- edge cases ---------- *)
+
+let test_disconnected_query_cross_products () =
+  (* two components: §2.1's selectivity-1 glue edge makes the query
+     optimizable, and the plan contains exactly one cross-product-ish
+     join applying the glue edge *)
+  let b = Hypergraph.Builder.create () in
+  let a0 = Hypergraph.Builder.add_relation ~card:10.0 b "a0" in
+  let a1 = Hypergraph.Builder.add_relation ~card:20.0 b "a1" in
+  let b0 = Hypergraph.Builder.add_relation ~card:30.0 b "b0" in
+  let b1 = Hypergraph.Builder.add_relation ~card:40.0 b "b1" in
+  Hypergraph.Builder.add_predicate ~sel:0.1 b (Relalg.Predicate.eq_cols a0 "x" a1 "x");
+  Hypergraph.Builder.add_predicate ~sel:0.1 b (Relalg.Predicate.eq_cols b0 "x" b1 "x");
+  let g = Hypergraph.Builder.build b in
+  check_int "glue edge added" 3 (G.num_edges g);
+  List.iter
+    (fun algo ->
+      match (Opt.run algo g).plan with
+      | Some p ->
+          check
+            (Core.Optimizer.name algo ^ " covers all")
+            true
+            (Ns.equal p.Plans.Plan.set (G.all_nodes g));
+          Alcotest.(check (list string)) "structurally valid" []
+            (List.map Plans.Plan_check.issue_to_string (Plans.Plan_check.check g p))
+      | None -> Alcotest.failf "%s: no plan" (Core.Optimizer.name algo))
+    Opt.[ Dphyp; Dpsize; Dpsub; Tdpart ];
+  (* and all agree *)
+  agree "disconnected" g [ Opt.Dphyp; Opt.Dpsize; Opt.Dpsub; Opt.Tdpart ]
+
+let test_three_components () =
+  let b = Hypergraph.Builder.create () in
+  for i = 0 to 5 do
+    ignore (Hypergraph.Builder.add_relation ~card:(float_of_int (10 * (i + 1))) b
+              (Printf.sprintf "t%d" i))
+  done;
+  Hypergraph.Builder.add_predicate b (Relalg.Predicate.eq_cols 0 "x" 1 "x");
+  Hypergraph.Builder.add_predicate b (Relalg.Predicate.eq_cols 2 "x" 3 "x");
+  Hypergraph.Builder.add_predicate b (Relalg.Predicate.eq_cols 4 "x" 5 "x");
+  let g = Hypergraph.Builder.build b in
+  check "connected after glue" true (Hypergraph.Connectivity.is_connected_graph g);
+  check "optimizes" true ((Opt.run Opt.Dphyp g).plan <> None)
+
+let test_large_chain_near_node_limit () =
+  (* high node indices: exercises the top bits of the native-int sets *)
+  let g = Workloads.Shapes.chain 60 in
+  match (Opt.run Opt.Dphyp g).plan with
+  | Some p ->
+      check "covers 60 relations" true (Ns.cardinal p.Plans.Plan.set = 60);
+      check_int "59 joins" 59 (Plans.Plan.num_joins p)
+  | None -> Alcotest.fail "no plan for chain-60"
+
+let test_unit_cardinalities () =
+  let g =
+    G.make
+      [| G.base_rel ~card:1.0 "a"; G.base_rel ~card:1.0 "b" |]
+      [| He.simple ~sel:1.0 ~id:0 0 1 |]
+  in
+  match (Opt.run Opt.Dphyp g).plan with
+  | Some p -> Alcotest.(check (float 1e-9)) "card floor" 1.0 p.Plans.Plan.card
+  | None -> Alcotest.fail "no plan"
+
+(* ---------- plan sampling ---------- *)
+
+let test_sampled_plans_never_beat_optimum () =
+  List.iter
+    (fun (name, g) ->
+      if G.num_nodes g <= 8 then begin
+        let opt = cost_of (Opt.run Opt.Dphyp g) in
+        List.iteri
+          (fun i c ->
+            check
+              (Printf.sprintf "%s sample %d: optimum <= sample" name i)
+              true
+              (opt <= c +. 1e-9))
+          (Core.Plan_sample.sample_costs ~seeds:(List.init 8 Fun.id) g)
+      end)
+    (graphs_under_test ())
+
+let test_sampled_plans_structurally_valid () =
+  List.iter
+    (fun (name, g) ->
+      if G.num_nodes g <= 8 then
+        List.iter
+          (fun seed ->
+            match Core.Plan_sample.random_plan ~seed g with
+            | None -> Alcotest.failf "%s: no sampled plan" name
+            | Some p -> (
+                check (name ^ ": covers all") true
+                  (Ns.equal p.Plans.Plan.set (G.all_nodes g));
+                match Plans.Plan_check.check g p with
+                | [] -> ()
+                | issues ->
+                    Alcotest.failf "%s seed %d: %s" name seed
+                      (String.concat "; "
+                         (List.map Plans.Plan_check.issue_to_string issues))))
+          [ 0; 1; 2 ])
+    (graphs_under_test ())
+
+let test_sampling_diversity () =
+  (* different seeds should find different plan shapes on a clique *)
+  let g = Workloads.Shapes.clique 5 in
+  let plans =
+    List.filter_map
+      (fun seed -> Core.Plan_sample.random_plan ~seed g)
+      (List.init 12 Fun.id)
+  in
+  let distinct =
+    List.sort_uniq compare (List.map Plans.Plan.to_string plans)
+  in
+  check "several distinct shapes" true (List.length distinct >= 4)
+
+(* ---------- GOO ---------- *)
+
+let test_goo_valid_but_suboptimal () =
+  List.iter
+    (fun (name, g) ->
+      let goo = Opt.run Opt.Goo g in
+      let opt = Opt.run Opt.Dphyp g in
+      match goo.plan, opt.plan with
+      | Some gp, Some op ->
+          check (name ^ ": goo covers V") true
+            (Ns.equal gp.Plans.Plan.set (G.all_nodes g));
+          check (name ^ ": goo >= optimal") true
+            (gp.Plans.Plan.cost >= op.Plans.Plan.cost -. 1e-9)
+      | _ -> Alcotest.failf "%s: missing plan" name)
+    (graphs_under_test ())
+
+let test_goo_strictly_worse_somewhere () =
+  (* greedy must actually lose on at least one of these graphs,
+     otherwise the benchmark X4 is vacuous *)
+  let worse =
+    List.exists
+      (fun (_, g) ->
+        match (Opt.run Opt.Goo g).plan, (Opt.run Opt.Dphyp g).plan with
+        | Some gp, Some op -> gp.Plans.Plan.cost > op.Plans.Plan.cost *. 1.0001
+        | _ -> false)
+      (graphs_under_test ())
+  in
+  check "goo suboptimal somewhere" true worse
+
+(* ---------- filters ---------- *)
+
+let test_filter_false_blocks_everything () =
+  let g = Workloads.Shapes.chain 4 in
+  let r = Opt.run ~filter:(fun _ _ _ -> false) Opt.Dphyp g in
+  check "no plan under false filter" true (r.plan = None);
+  check "rejections counted" true
+    (r.counters.Core.Counters.filter_rejected > 0)
+
+let test_filter_unsupported () =
+  let g = Workloads.Shapes.chain 4 in
+  Alcotest.check_raises "goo rejects filter"
+    (Invalid_argument "Optimizer.run: goo does not support a validity filter")
+    (fun () -> ignore (Opt.run ~filter:(fun _ _ _ -> true) Opt.Goo g))
+
+let test_filter_trivial_preserves_result () =
+  List.iter
+    (fun (name, g) ->
+      let c1 = cost_of (Opt.run Opt.Dphyp g) in
+      let c2 = cost_of (Opt.run ~filter:(fun _ _ _ -> true) Opt.Dphyp g) in
+      check (name ^ ": true filter is identity") true
+        (Float.abs (c1 -. c2) <= 1e-9 *. Float.max 1.0 c1))
+    (graphs_under_test ())
+
+(* ---------- dependent operators (Section 5.6) ---------- *)
+
+let test_dependent_switch () =
+  (* T1 is a table function over T0: the optimizer must emit a
+     dependent join with T0 on the left *)
+  let g =
+    G.make
+      [|
+        G.base_rel ~card:100.0 "T0";
+        G.base_rel ~card:10.0 ~free:(Ns.singleton 0) "f";
+      |]
+      [| He.simple ~pred:(Relalg.Predicate.eq_cols 0 "x" 1 "x") ~id:0 0 1 |]
+  in
+  match (Opt.run Opt.Dphyp g).plan with
+  | Some { tree = Plans.Plan.Join j; _ } ->
+      check "dependent" true j.op.Relalg.Operator.dependent;
+      check "table function on the right" true
+        (Ns.equal j.right.Plans.Plan.set (Ns.singleton 1))
+  | _ -> Alcotest.fail "expected a join plan"
+
+let test_dependent_no_valid_orientation () =
+  (* two table functions depending on each other: no plan exists *)
+  let g =
+    G.make
+      [|
+        G.base_rel ~card:100.0 ~free:(Ns.singleton 1) "f0";
+        G.base_rel ~card:10.0 ~free:(Ns.singleton 0) "f1";
+      |]
+      [| He.simple ~pred:(Relalg.Predicate.eq_cols 0 "x" 1 "x") ~id:0 0 1 |]
+  in
+  check "cyclic dependence has no plan" true ((Opt.run Opt.Dphyp g).plan = None)
+
+(* ---------- Emit.applicable_op ---------- *)
+
+let test_applicable_op () =
+  let e ?(op = Relalg.Operator.join) id = (He.make ~op ~id (ns [ 0 ]) (ns [ 1 ]), He.Forward) in
+  check "all inner" true (Core.Emit.applicable_op [ e 0; e 1 ] = `Inner);
+  (match Core.Emit.applicable_op [ e 0; e ~op:Relalg.Operator.left_outer 1 ] with
+  | `Op (edge, He.Forward) -> check_int "the louter edge" 1 edge.He.id
+  | _ -> Alcotest.fail "expected single non-inner op");
+  check "two non-inner ambiguous" true
+    (Core.Emit.applicable_op
+       [ e ~op:Relalg.Operator.left_outer 0; e ~op:Relalg.Operator.left_anti 1 ]
+    = `Ambiguous)
+
+(* ---------- properties over random graphs ---------- *)
+
+let prop_random_agreement =
+  QCheck.Test.make ~name:"dphyp = dpsub = dpsize on random hypergraphs"
+    ~count:40
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g =
+        Workloads.Random_graphs.hyper ~seed ~n:6 ~extra_edges:2 ~hyperedges:2
+          ~max_hypernode:3 ()
+      in
+      let c1 = cost_of (Opt.run Opt.Dphyp g) in
+      let c2 = cost_of (Opt.run Opt.Dpsub g) in
+      let c3 = cost_of (Opt.run Opt.Dpsize g) in
+      Float.abs (c1 -. c2) <= 1e-9 *. c1 && Float.abs (c1 -. c3) <= 1e-9 *. c1)
+
+let prop_random_emission =
+  QCheck.Test.make ~name:"dphyp emission = brute force on random hypergraphs"
+    ~count:40
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g =
+        Workloads.Random_graphs.hyper ~seed ~n:6 ~extra_edges:2 ~hyperedges:2
+          ~max_hypernode:3 ()
+      in
+      canon (Core.Dphyp.enumerate_ccps g)
+      = canon (Hypergraph.Csg_enum.csg_cmp_pairs g))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "core"
+    [
+      ( "emission",
+        [
+          Alcotest.test_case "exactly the ccps" `Quick test_dphyp_emits_exactly_ccps;
+          Alcotest.test_case "canonical order" `Quick test_dphyp_canonical_min_order;
+          Alcotest.test_case "DP order" `Quick test_dphyp_dp_order;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "all exact algorithms" `Quick test_all_algorithms_agree;
+          Alcotest.test_case "under c_mm" `Quick test_agreement_under_cmm;
+          Alcotest.test_case "dpccp trace" `Quick test_dpccp_matches_dphyp_trace;
+          Alcotest.test_case "dpccp rejects hypergraphs" `Quick
+            test_dpccp_rejects_hypergraphs;
+        ] );
+      ( "golden",
+        [ Alcotest.test_case "figure 3 trace" `Quick test_fig3_trace_golden ] );
+      ( "counters",
+        [
+          Alcotest.test_case "dphyp tight" `Quick test_counters_dphyp_tight;
+          Alcotest.test_case "baselines waste" `Quick test_counters_baselines_waste;
+          Alcotest.test_case "dp entries = csg count" `Quick
+            test_dp_entries_is_csg_count;
+          Alcotest.test_case "tdpart beats naive topdown" `Quick
+            test_tdpart_beats_naive;
+        ] );
+      ( "plans",
+        [
+          Alcotest.test_case "cover all relations" `Quick
+            test_plan_covers_all_relations;
+          Alcotest.test_case "no cross products" `Quick test_no_cross_products;
+          Alcotest.test_case "structurally valid (Plan_check)" `Quick
+            test_plans_structurally_valid;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "disconnected query" `Quick
+            test_disconnected_query_cross_products;
+          Alcotest.test_case "three components" `Quick test_three_components;
+          Alcotest.test_case "chain near node limit" `Quick
+            test_large_chain_near_node_limit;
+          Alcotest.test_case "unit cardinalities" `Quick test_unit_cardinalities;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "never beats optimum" `Quick
+            test_sampled_plans_never_beat_optimum;
+          Alcotest.test_case "structurally valid" `Quick
+            test_sampled_plans_structurally_valid;
+          Alcotest.test_case "diversity" `Quick test_sampling_diversity;
+        ] );
+      ( "goo",
+        [
+          Alcotest.test_case "valid but suboptimal" `Quick
+            test_goo_valid_but_suboptimal;
+          Alcotest.test_case "strictly worse somewhere" `Quick
+            test_goo_strictly_worse_somewhere;
+        ] );
+      ( "filter",
+        [
+          Alcotest.test_case "false blocks" `Quick test_filter_false_blocks_everything;
+          Alcotest.test_case "unsupported" `Quick test_filter_unsupported;
+          Alcotest.test_case "true is identity" `Quick
+            test_filter_trivial_preserves_result;
+        ] );
+      ( "dependent",
+        [
+          Alcotest.test_case "switch fires" `Quick test_dependent_switch;
+          Alcotest.test_case "cycle has no plan" `Quick
+            test_dependent_no_valid_orientation;
+        ] );
+      ("emit", [ Alcotest.test_case "applicable_op" `Quick test_applicable_op ]);
+      ("properties", [ q prop_random_agreement; q prop_random_emission ]);
+    ]

@@ -1,0 +1,98 @@
+(* The one-call pipeline driver. *)
+
+module D = Driver.Pipeline
+module Op = Relalg.Operator
+module Ot = Relalg.Optree
+module P = Relalg.Predicate
+
+let check = Alcotest.(check bool)
+
+let sample_sql =
+  "SELECT * FROM a JOIN b ON a.k = b.k LEFT JOIN c ON b.x = c.x \
+   WHERE EXISTS (SELECT * FROM v WHERE v.k = a.k)"
+
+let test_optimize_sql_all_modes () =
+  List.iter
+    (fun mode ->
+      match D.optimize_sql ~mode sample_sql with
+      | Ok r ->
+          check "plan covers all relations" true
+            (Nodeset.Node_set.equal r.D.plan.Plans.Plan.set
+               (Hypergraph.Graph.all_nodes r.D.graph));
+          (match D.verify_on_data r with
+          | Ok _ -> ()
+          | Error m -> Alcotest.fail m)
+      | Error m -> Alcotest.fail m)
+    D.[ Tes_literal; Tes_conservative; Tes_generate_and_test; Cdc ]
+
+let test_modes_agree_on_inner () =
+  (* pure inner joins: every conflict mode admits the full space, so
+     all modes land on the same optimum *)
+  let sql = "SELECT * FROM a, b, c, d WHERE a.k = b.k AND b.x = c.x AND c.y = d.y" in
+  let cost mode =
+    match D.optimize_sql ~mode sql with
+    | Ok r -> r.D.plan.Plans.Plan.cost
+    | Error m -> Alcotest.fail m
+  in
+  let c0 = cost D.Tes_literal in
+  List.iter
+    (fun mode ->
+      check "same optimum" true (Float.abs (cost mode -. c0) <= 1e-9 *. c0))
+    D.[ Tes_conservative; Tes_generate_and_test; Cdc ]
+
+let test_optimize_tree () =
+  let tree = Workloads.Noninner.star_antijoins ~n_rel:6 ~k:3 () in
+  match D.optimize_tree ~mode:D.Tes_conservative tree with
+  | Ok r ->
+      check "counters populated" true
+        (r.D.counters.Core.Counters.ccp_emitted > 0)
+  | Error m -> Alcotest.fail m
+
+let test_optimize_graph () =
+  match D.optimize_graph (Workloads.Shapes.cycle 6) with
+  | Ok r ->
+      check "plan present" true (Plans.Plan.num_joins r.D.plan = 5);
+      check "tree rematerialized" true (Ot.num_ops r.D.tree = 5)
+  | Error m -> Alcotest.fail m
+
+let test_errors () =
+  check "parse error surfaces" true
+    (match D.optimize_sql "SELECT FROM" with Error _ -> true | Ok _ -> false);
+  check "invalid tree surfaces" true
+    (match
+       D.optimize_tree
+         (Ot.join (P.eq_cols 0 "v" 1 "v") (Ot.leaf 1 "B") (Ot.leaf 0 "A"))
+     with
+    | Error m -> String.length m > 0
+    | Ok _ -> false);
+  check "filter/algorithm mismatch surfaces" true
+    (match
+       D.optimize_sql ~mode:D.Cdc ~algo:Core.Optimizer.Goo sample_sql
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_custom_catalog () =
+  let sql = "SELECT * FROM big JOIN small ON big.k = small.k" in
+  let cards i = if i = 0 then 1_000_000.0 else 10.0 in
+  match D.optimize_sql ~cards sql with
+  | Ok r ->
+      Alcotest.(check (float 1e-6)) "catalog respected" 1_000_000.0
+        (Hypergraph.Graph.cardinality r.D.graph 0)
+  | Error m -> Alcotest.fail m
+
+let () =
+  Alcotest.run "driver"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "sql, all conflict modes" `Quick
+            test_optimize_sql_all_modes;
+          Alcotest.test_case "modes agree on inner joins" `Quick
+            test_modes_agree_on_inner;
+          Alcotest.test_case "tree entry point" `Quick test_optimize_tree;
+          Alcotest.test_case "graph entry point" `Quick test_optimize_graph;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "custom catalog" `Quick test_custom_catalog;
+        ] );
+    ]

@@ -1,0 +1,269 @@
+(* Executor semantics: every operator of Section 5.1 on hand-built
+   instances, NULL behaviour, dependence, and bag comparison. *)
+
+module Ns = Nodeset.Node_set
+module Ot = Relalg.Optree
+module Op = Relalg.Operator
+module P = Relalg.Predicate
+module V = Relalg.Value
+module I = Executor.Instance
+module E = Executor.Exec
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Two tiny tables:
+   A(k): 1, 2, 2, 3        B(k, x): (1,10), (2,20), (4,40) *)
+let inst () =
+  I.make
+    [
+      (0, I.Rows (List.map (fun k -> [ ("k", V.Int k) ]) [ 1; 2; 2; 3 ]));
+      ( 1,
+        I.Rows
+          (List.map
+             (fun (k, x) -> [ ("k", V.Int k); ("x", V.Int x) ])
+             [ (1, 10); (2, 20); (4, 40) ]) );
+    ]
+
+let a = Ot.leaf 0 "A"
+let b = Ot.leaf 1 "B"
+let p_k = P.eq_cols 0 "k" 1 "k"
+
+let run op ?(aggs = []) () = E.eval (inst ()) (Ot.op ~aggs op p_k a b)
+
+let count_where f envs = List.length (List.filter f envs)
+
+let test_inner () =
+  let r = run Op.join () in
+  (* matches: 1-1, 2-2, 2-2 *)
+  check_int "3 tuples" 3 (List.length r);
+  check "all bound" true
+    (List.for_all (fun e -> Executor.Env.bound e 0 && Executor.Env.bound e 1) r)
+
+let test_left_outer () =
+  let r = run Op.left_outer () in
+  (* 3 matches + A-row k=3 padded *)
+  check_int "4 tuples" 4 (List.length r);
+  check_int "one padded" 1
+    (count_where (fun e -> Executor.Env.is_null_padded e 1) r);
+  check "padded row keeps left values" true
+    (List.exists
+       (fun e ->
+         Executor.Env.is_null_padded e 1
+         && Executor.Env.lookup e 0 "k" = V.Int 3)
+       r)
+
+let test_full_outer () =
+  let r = run Op.full_outer () in
+  (* 3 matches + k=3 right-padded + B-row k=4 left-padded *)
+  check_int "5 tuples" 5 (List.length r);
+  check_int "left padded" 1
+    (count_where (fun e -> Executor.Env.is_null_padded e 0) r);
+  check_int "right padded" 1
+    (count_where (fun e -> Executor.Env.is_null_padded e 1) r)
+
+let test_semi () =
+  let r = run Op.left_semi () in
+  (* A-rows with a partner: 1, 2, 2 *)
+  check_int "3 rows" 3 (List.length r);
+  check "right side absent" true
+    (List.for_all (fun e -> not (Executor.Env.bound e 1)) r)
+
+let test_anti () =
+  let r = run Op.left_anti () in
+  check_int "1 row" 1 (List.length r);
+  check "it is k=3" true
+    (List.for_all (fun e -> Executor.Env.lookup e 0 "k" = V.Int 3) r)
+
+let test_nest () =
+  let aggs =
+    [ Relalg.Aggregate.count "n"; Relalg.Aggregate.sum "sx" (Relalg.Scalar.col 1 "x") ]
+  in
+  let r = run Op.left_nest ~aggs () in
+  (* one output row per A row *)
+  check_int "4 rows" 4 (List.length r);
+  let find k =
+    List.find (fun e -> Executor.Env.lookup e 0 "k" = V.Int k) r
+  in
+  check "count for k=1" true (Executor.Env.lookup (find 1) 1 "n" = V.Int 1);
+  check "sum for k=1" true (Executor.Env.lookup (find 1) 1 "sx" = V.Float 10.0);
+  check "count for k=3 empty group" true
+    (Executor.Env.lookup (find 3) 1 "n" = V.Int 0);
+  check "sum for empty group is null" true
+    (Executor.Env.lookup (find 3) 1 "sx" = V.Null);
+  (* duplicates each get their own group row *)
+  check_int "two k=2 rows" 2
+    (count_where (fun e -> Executor.Env.lookup e 0 "k" = V.Int 2) r)
+
+let test_null_never_matches () =
+  (* a NULL key on the left matches nothing, even a NULL on the right *)
+  let inst =
+    I.make
+      [
+        (0, I.Rows [ [ ("k", V.Null) ] ]);
+        (1, I.Rows [ [ ("k", V.Null); ("x", V.Int 1) ] ]);
+      ]
+  in
+  check_int "inner empty" 0 (List.length (E.eval inst (Ot.op Op.join p_k a b)));
+  check_int "louter pads" 1
+    (List.length (E.eval inst (Ot.op Op.left_outer p_k a b)));
+  check_int "anti keeps" 1
+    (List.length (E.eval inst (Ot.op Op.left_anti p_k a b)))
+
+let test_dependent_join () =
+  (* right side is a table function whose rows depend on the left
+     tuple: f(a) = { a.k } — a d-join pairs each a with its own row *)
+  let inst =
+    I.make
+      [
+        (0, I.Rows (List.map (fun k -> [ ("k", V.Int k) ]) [ 1; 2 ]));
+        ( 1,
+          I.Func
+            (fun outer ->
+              match Executor.Env.lookup outer 0 "k" with
+              | V.Int k -> [ [ ("k", V.Int k) ] ]
+              | _ -> []) );
+      ]
+  in
+  let f = Ot.leaf ~free:(Ns.singleton 0) 1 "f" in
+  let t = Ot.op Op.d_join p_k a f in
+  let r = E.eval inst t in
+  check_int "one row per left tuple" 2 (List.length r);
+  check "keys line up" true
+    (List.for_all
+       (fun e -> Executor.Env.lookup e 0 "k" = Executor.Env.lookup e 1 "k")
+       r);
+  (* dependent semijoin: every left row has its personal partner *)
+  let r2 = E.eval inst (Ot.op (Op.to_dependent Op.left_semi) p_k a f) in
+  check_int "dep semi keeps all" 2 (List.length r2);
+  (* dependent antijoin: nobody survives *)
+  let r3 = E.eval inst (Ot.op (Op.to_dependent Op.left_anti) p_k a f) in
+  check_int "dep anti drops all" 0 (List.length r3)
+
+let test_instance_for_tree_dependence_visible () =
+  (* the generated table functions really do depend on the outer row *)
+  let f = Ot.leaf ~free:(Ns.singleton 0) 1 "f" in
+  let t = Ot.op Op.d_join (P.eq_cols 0 "v" 1 "v") a f in
+  let inst = I.for_tree ~seed:3 t in
+  let out1 = I.rows_of inst ~outer:(Executor.Env.bind 0 [ ("v", V.Int 0) ] Executor.Env.empty) 1 in
+  let out2 = I.rows_of inst ~outer:(Executor.Env.bind 0 [ ("v", V.Int 1) ] Executor.Env.empty) 1 in
+  check "different outer, different rows" true (out1 <> out2)
+
+let test_output_tables () =
+  let c = Ot.leaf 2 "C" in
+  let t1 = Ot.op Op.left_semi (P.eq_cols 1 "k" 2 "k") (Ot.op Op.join p_k a b) c in
+  Alcotest.(check (list int)) "semi drops right" [ 0; 1 ] (E.output_tables t1);
+  let t2 =
+    Ot.op ~aggs:[ Relalg.Aggregate.count "n" ] Op.left_nest
+      (P.eq_cols 0 "k" 1 "k") a
+      (Ot.op Op.join (P.eq_cols 1 "k" 2 "k") b c)
+  in
+  Alcotest.(check (list int)) "nest collapses right to carrier" [ 0; 1 ]
+    (E.output_tables t2)
+
+let test_bag_semantics () =
+  let u = [ 0; 1 ] in
+  let e1 = Executor.Env.bind 0 [ ("k", V.Int 1) ] Executor.Env.empty in
+  let e2 = Executor.Env.bind 0 [ ("k", V.Int 2) ] Executor.Env.empty in
+  check "order irrelevant" true (Executor.Bag.equal ~universe:u [ e1; e2 ] [ e2; e1 ]);
+  check "multiplicity matters" false
+    (Executor.Bag.equal ~universe:u [ e1; e1 ] [ e1 ]);
+  check "padded differs from absent" false
+    (Executor.Bag.equal ~universe:u [ e1 ]
+       [ Executor.Env.bind_null 1 e1 ]);
+  (match Executor.Bag.diff_summary ~universe:u [ e1 ] [ e2 ] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "diff expected");
+  check "diff none when equal" true
+    (Executor.Bag.diff_summary ~universe:u [ e1 ] [ e1 ] = None)
+
+let test_env_lookup () =
+  let e = Executor.Env.bind 0 [ ("k", V.Int 7) ] Executor.Env.empty in
+  check "bound attr" true (Executor.Env.lookup e 0 "k" = V.Int 7);
+  check "missing attr is null" true (Executor.Env.lookup e 0 "zz" = V.Null);
+  check "unbound table is null" true (Executor.Env.lookup e 9 "k" = V.Null);
+  check "padded is null" true
+    (Executor.Env.lookup (Executor.Env.bind_null 1 e) 1 "k" = V.Null);
+  Alcotest.(check (list int)) "tables" [ 0; 1 ]
+    (Executor.Env.tables (Executor.Env.bind_null 1 e))
+
+let test_estimate () =
+  (* uniform integers in [0, d): equality selectivity ~ 1/d *)
+  let t = Ot.op Op.join (P.eq_cols 0 "k" 1 "k") a b in
+  let inst = I.for_tree ~rows:40 ~domain:4 ~seed:5 t in
+  check "relation card" true (E.output_tables t <> []);
+  Alcotest.(check (float 0.01)) "card measured" 40.0
+    (Executor.Estimate.relation_card inst 0);
+  let g =
+    Hypergraph.Graph.make
+      [| Hypergraph.Graph.base_rel "A"; Hypergraph.Graph.base_rel "B" |]
+      [|
+        Hypergraph.Hyperedge.simple ~pred:(P.eq_cols 0 "k" 1 "k") ~id:0 0 1;
+      |]
+  in
+  let sel =
+    Executor.Estimate.edge_selectivity ~sample:40 inst
+      (Hypergraph.Graph.edge g 0)
+  in
+  check "sel near 1/4" true (sel > 0.15 && sel < 0.35);
+  let g' = Executor.Estimate.calibrate ~sample:40 inst g in
+  Alcotest.(check (float 0.01)) "calibrated card" 40.0
+    (Hypergraph.Graph.cardinality g' 0);
+  check "calibrated sel" true
+    (let e = Hypergraph.Graph.edge g' 0 in
+     e.Hypergraph.Hyperedge.sel > 0.15 && e.Hypergraph.Hyperedge.sel < 0.35)
+
+let test_estimate_true_pred () =
+  let t = Ot.op Op.join P.True_ a b in
+  let inst = I.for_tree ~rows:5 ~seed:1 t in
+  let e =
+    Hypergraph.Hyperedge.make ~id:0 (Nodeset.Node_set.singleton 0)
+      (Nodeset.Node_set.singleton 1)
+  in
+  Alcotest.(check (float 1e-9)) "cross product sel 1" 1.0
+    (Executor.Estimate.edge_selectivity inst e)
+
+(* association of joins checked by brute execution *)
+let test_join_associativity_on_data () =
+  let c = Ot.leaf 2 "C" in
+  let p12 = P.eq_cols 1 "k" 2 "k" in
+  let t_left = Ot.join p12 (Ot.join p_k a b) c in
+  let t_right = Ot.op Op.join p_k a (Ot.op Op.join p12 b c) in
+  let inst = I.for_tree ~seed:11 ~rows:5 ~domain:3 t_left in
+  let u = E.output_tables t_left in
+  check "associativity holds on data" true
+    (Executor.Bag.equal ~universe:u (E.eval inst t_left) (E.eval inst t_right))
+
+let () =
+  Alcotest.run "executor"
+    [
+      ( "operators",
+        [
+          Alcotest.test_case "inner" `Quick test_inner;
+          Alcotest.test_case "left outer" `Quick test_left_outer;
+          Alcotest.test_case "full outer" `Quick test_full_outer;
+          Alcotest.test_case "semijoin" `Quick test_semi;
+          Alcotest.test_case "antijoin" `Quick test_anti;
+          Alcotest.test_case "nestjoin" `Quick test_nest;
+          Alcotest.test_case "null never matches" `Quick test_null_never_matches;
+        ] );
+      ( "dependence",
+        [
+          Alcotest.test_case "d-join and variants" `Quick test_dependent_join;
+          Alcotest.test_case "generated dependence visible" `Quick
+            test_instance_for_tree_dependence_visible;
+        ] );
+      ( "estimate",
+        [
+          Alcotest.test_case "selectivity calibration" `Quick test_estimate;
+          Alcotest.test_case "true predicate" `Quick test_estimate_true_pred;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "output tables" `Quick test_output_tables;
+          Alcotest.test_case "bag semantics" `Quick test_bag_semantics;
+          Alcotest.test_case "env lookup" `Quick test_env_lookup;
+          Alcotest.test_case "join associativity on data" `Quick
+            test_join_associativity_on_data;
+        ] );
+    ]

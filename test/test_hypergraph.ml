@@ -1,0 +1,434 @@
+(* Tests for hyperedges, hypergraphs, neighborhoods (the paper's §2.3
+   worked examples), connectivity (Definition 3) and the brute-force
+   csg/ccp enumerator against the closed forms of Moerkotte & Neumann
+   (VLDB 2006) for chain, cycle, star and clique. *)
+
+module Ns = Nodeset.Node_set
+module He = Hypergraph.Hyperedge
+module G = Hypergraph.Graph
+module Conn = Hypergraph.Connectivity
+module Csg = Hypergraph.Csg_enum
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let ns = Ns.of_list
+
+(* The paper's Figure 2 hypergraph: R1..R6 are nodes 0..5. *)
+let fig2 () =
+  let simple id a b = He.simple ~id a b in
+  G.make
+    (Array.init 6 (fun i -> G.base_rel (Printf.sprintf "R%d" (i + 1))))
+    [|
+      simple 0 0 1; (* R1-R2 *)
+      simple 1 1 2; (* R2-R3 *)
+      simple 2 3 4; (* R4-R5 *)
+      simple 3 4 5; (* R5-R6 *)
+      He.make ~id:4 (ns [ 0; 1; 2 ]) (ns [ 3; 4; 5 ]);
+    |]
+
+(* ---------- hyperedge ---------- *)
+
+let test_edge_make_validation () =
+  Alcotest.check_raises "empty u"
+    (Invalid_argument "Hyperedge.make: hypernodes u and v must be non-empty")
+    (fun () -> ignore (He.make ~id:0 Ns.empty (ns [ 1 ])));
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Hyperedge.make: u, v, w must be pairwise disjoint")
+    (fun () -> ignore (He.make ~id:0 (ns [ 0; 1 ]) (ns [ 1; 2 ])));
+  Alcotest.check_raises "bad sel"
+    (Invalid_argument "Hyperedge.make: selectivity must be in (0,1]")
+    (fun () -> ignore (He.make ~sel:0.0 ~id:0 (ns [ 0 ]) (ns [ 1 ])))
+
+let test_edge_classification () =
+  let s = He.simple ~id:0 0 1 in
+  check "simple is simple" true (He.is_simple s);
+  check "simple is plain" true (He.is_plain s);
+  let h = He.make ~id:1 (ns [ 0; 1 ]) (ns [ 2 ]) in
+  check "hyper not simple" false (He.is_simple h);
+  check "hyper plain" true (He.is_plain h);
+  let gen = He.make ~id:2 ~w:(ns [ 3 ]) (ns [ 0 ]) (ns [ 2 ]) in
+  check "generalized not plain" false (He.is_plain gen);
+  Alcotest.(check (list int)) "covers" [ 0; 2; 3 ] (Ns.to_list (He.covers gen))
+
+let test_edge_connects () =
+  let e = He.make ~id:0 (ns [ 0; 1 ]) (ns [ 3 ]) in
+  check "forward" true (He.connects e (ns [ 0; 1; 2 ]) (ns [ 3; 4 ]));
+  check "backward" true (He.connects e (ns [ 3; 4 ]) (ns [ 0; 1; 2 ]));
+  check "u split fails" false (He.connects e (ns [ 0 ]) (ns [ 1; 3 ]));
+  check "orient forward" true
+    (He.orient e (ns [ 0; 1 ]) (ns [ 3 ]) = Some He.Forward);
+  check "orient backward" true
+    (He.orient e (ns [ 3 ]) (ns [ 0; 1 ]) = Some He.Backward);
+  check "orient none" true (He.orient e (ns [ 0 ]) (ns [ 3 ]) = None)
+
+let test_edge_connects_generalized () =
+  (* (u={0}, v={2}, w={1}): w members may sit on either side *)
+  let e = He.make ~id:0 ~w:(ns [ 1 ]) (ns [ 0 ]) (ns [ 2 ]) in
+  check "w on left" true (He.connects e (ns [ 0; 1 ]) (ns [ 2 ]));
+  check "w on right" true (He.connects e (ns [ 0 ]) (ns [ 1; 2 ]));
+  check "w absent fails" false (He.connects e (ns [ 0 ]) (ns [ 2 ]));
+  check "w absent fails backward" false (He.connects e (ns [ 2 ]) (ns [ 0 ]))
+
+(* ---------- graph construction ---------- *)
+
+let test_graph_validation () =
+  Alcotest.check_raises "edge id mismatch"
+    (Invalid_argument "Hypergraph.make: edge at index 0 has id 3") (fun () ->
+      ignore (G.make [| G.base_rel "A"; G.base_rel "B" |] [| He.simple ~id:3 0 1 |]));
+  Alcotest.check_raises "no relations"
+    (Invalid_argument "Hypergraph.make: no relations") (fun () ->
+      ignore (G.make [||] [||]))
+
+let test_graph_accessors () =
+  let g = fig2 () in
+  check_int "nodes" 6 (G.num_nodes g);
+  check_int "edges" 5 (G.num_edges g);
+  check "has hyperedges" true (G.has_hyperedges g);
+  check_int "complex count" 1 (List.length (G.complex_edges g));
+  Alcotest.(check (list int)) "simple neighbors of R2(1)" [ 0; 2 ]
+    (Ns.to_list (G.simple_neighbors g 1));
+  Alcotest.(check string) "relation name" "R1" (G.relation g 0).G.name
+
+(* ---------- neighborhood: the paper's worked examples ---------- *)
+
+let test_neighborhood_paper_example () =
+  let g = fig2 () in
+  (* §2.3: with X = S = {R1,R2,R3} (nodes {0,1,2}),
+     N(S,X) = {R4} = node 3 — only the canonical representative. *)
+  let s = ns [ 0; 1; 2 ] in
+  Alcotest.(check (list int)) "N({R1,R2,R3})" [ 3 ]
+    (Ns.to_list (G.neighborhood g s s));
+  (* E♮(S,X) = {{R4,R5,R6}} *)
+  (match G.eligible_hypernodes g s s with
+  | [ hn ] -> Alcotest.(check (list int)) "E-natural" [ 3; 4; 5 ] (Ns.to_list hn)
+  | l -> Alcotest.failf "expected one hypernode, got %d" (List.length l))
+
+let test_neighborhood_simple_edges () =
+  let g = fig2 () in
+  (* neighborhood of {R5}=node 4 with nothing excluded: {R4, R6} *)
+  Alcotest.(check (list int)) "N({R5})" [ 3; 5 ]
+    (Ns.to_list (G.neighborhood g (ns [ 4 ]) Ns.empty));
+  (* with node 3 excluded: {R6} *)
+  Alcotest.(check (list int)) "N({R5},X={R4})" [ 5 ]
+    (Ns.to_list (G.neighborhood g (ns [ 4 ]) (ns [ 3 ])))
+
+let test_neighborhood_exclusion_of_hypernode () =
+  let g = fig2 () in
+  (* excluding any member of {R4,R5,R6} hides the hyperedge *)
+  let s = ns [ 0; 1; 2 ] in
+  check "excluded member blocks hypernode" true
+    (Ns.is_empty (G.neighborhood g s (Ns.union s (ns [ 4 ]))))
+
+let test_neighborhood_subsumption () =
+  (* two complex edges where one candidate subsumes another: the
+     subsumed (larger) hypernode contributes no representative *)
+  let g =
+    G.make
+      (Array.init 5 (fun i -> G.base_rel (Printf.sprintf "T%d" i)))
+      [|
+        He.make ~id:0 (ns [ 0 ]) (ns [ 2; 3; 4 ]);
+        He.make ~id:1 (ns [ 0; 1 ]) (ns [ 3; 4 ]);
+      |]
+  in
+  (* from {0,1}: candidates {2,3,4} (edge0) and {3,4} (edge1);
+     {3,4} ⊂ {2,3,4} so only min{3,4}=3 enters the neighborhood *)
+  Alcotest.(check (list int)) "subsumed dropped" [ 3 ]
+    (Ns.to_list (G.neighborhood g (ns [ 0; 1 ]) Ns.empty))
+
+let test_neighborhood_generalized () =
+  (* (u={0}, v={2}, w={1}): from S={0}, the dynamic hypernode is
+     v ∪ (w \ S) = {1,2}, represented by 1 *)
+  let g =
+    G.make
+      (Array.init 3 (fun i -> G.base_rel (Printf.sprintf "T%d" i)))
+      [| He.make ~id:0 ~w:(ns [ 1 ]) (ns [ 0 ]) (ns [ 2 ]) |]
+  in
+  Alcotest.(check (list int)) "dynamic hypernode rep" [ 1 ]
+    (Ns.to_list (G.neighborhood g (ns [ 0 ]) Ns.empty));
+  (* from S={0,1}: w is inside S, hypernode is {2} *)
+  Alcotest.(check (list int)) "w inside S" [ 2 ]
+    (Ns.to_list (G.neighborhood g (ns [ 0; 1 ]) Ns.empty))
+
+(* ---------- connecting edges ---------- *)
+
+let test_connecting_edges () =
+  let g = fig2 () in
+  let edges = G.connecting_edges g (ns [ 0; 1; 2 ]) (ns [ 3; 4; 5 ]) in
+  check_int "one connecting edge" 1 (List.length edges);
+  (match edges with
+  | [ (e, He.Forward) ] -> check_int "the hyperedge" 4 e.He.id
+  | _ -> Alcotest.fail "expected forward hyperedge");
+  check "no edge R1-R4" false (G.connects g (ns [ 0 ]) (ns [ 3 ]));
+  check "simple edge backward" true
+    (match G.connecting_edges g (ns [ 1 ]) (ns [ 0 ]) with
+    | [ (_, He.Backward) ] -> true
+    | _ -> false)
+
+(* ---------- connectivity (Definition 3) ---------- *)
+
+let test_connectivity_paper_subtlety () =
+  (* With a single edge ({a},{b,c}) the set {b,c} is NOT connected:
+     the induced subgraph over {b,c} has no edge. *)
+  let g =
+    G.make
+      (Array.init 3 (fun i -> G.base_rel (Printf.sprintf "T%d" i)))
+      [| He.make ~id:0 (ns [ 0 ]) (ns [ 1; 2 ]) |]
+  in
+  let c = Conn.make_cache g in
+  check "{b,c} not connected" false (Conn.is_connected c (ns [ 1; 2 ]));
+  (* Definition 3 also rejects the full set: the partition must put
+     {b,c} on one side, and that side is itself disconnected *)
+  check "{a,b,c} not connected either" false
+    (Conn.is_connected c (ns [ 0; 1; 2 ]));
+  check "{a,b} not connected" false (Conn.is_connected c (ns [ 0; 1 ]));
+  check "singleton connected" true (Conn.is_connected c (ns [ 2 ]));
+  check "empty not connected" false (Conn.is_connected c Ns.empty)
+
+let test_connectivity_chain () =
+  let g = Workloads.Shapes.chain 5 in
+  let c = Conn.make_cache g in
+  check "interval connected" true (Conn.is_connected c (ns [ 1; 2; 3 ]));
+  check "gap disconnected" false (Conn.is_connected c (ns [ 0; 2 ]));
+  check "whole chain" true (Conn.is_connected_graph g)
+
+let test_reachable_overapprox () =
+  let g = fig2 () in
+  Alcotest.(check (list int)) "reach all" [ 0; 1; 2; 3; 4; 5 ]
+    (Ns.to_list (Conn.reachable_overapprox g (ns [ 0 ])))
+
+let test_components_and_ensure_connected () =
+  let g =
+    G.make
+      (Array.init 4 (fun i -> G.base_rel (Printf.sprintf "T%d" i)))
+      [| He.simple ~id:0 0 1; He.simple ~id:1 2 3 |]
+  in
+  check_int "two components" 2 (List.length (G.components g));
+  let g' = G.ensure_connected g in
+  check_int "one component after" 1 (List.length (G.components g'));
+  check_int "one extra edge" 3 (G.num_edges g');
+  check "now connected (Def 3)" true (Conn.is_connected_graph g');
+  (* already-connected graphs are untouched *)
+  let g2 = fig2 () in
+  check "no-op when connected" true (G.ensure_connected g2 == g2)
+
+(* ---------- csg / ccp counts: closed forms ---------- *)
+
+(* Closed forms for simple graphs (Moerkotte & Neumann, VLDB 2006):
+   chain:  #csg = n(n+1)/2          #ccp = (n³ − n)/6
+   star:   #csg = 2^(n−1) + n − 1   #ccp = (n−1) · 2^(n−2)
+   clique: #csg = 2^n − 1           #ccp = (3^n − 2^(n+1) + 1)/2
+   (star counts use n = total relations, hub included) *)
+
+let pow b e = int_of_float (float_of_int b ** float_of_int e)
+
+let test_counts_chain () =
+  List.iter
+    (fun n ->
+      let g = Workloads.Shapes.chain n in
+      check_int
+        (Printf.sprintf "chain %d csg" n)
+        (n * (n + 1) / 2)
+        (Csg.count_connected_subgraphs g);
+      check_int
+        (Printf.sprintf "chain %d ccp" n)
+        (((n * n * n) - n) / 6)
+        (Csg.count_csg_cmp_pairs g))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_counts_star () =
+  List.iter
+    (fun sats ->
+      let n = sats + 1 in
+      let g = Workloads.Shapes.star sats in
+      check_int
+        (Printf.sprintf "star %d csg" sats)
+        (pow 2 (n - 1) + n - 1)
+        (Csg.count_connected_subgraphs g);
+      check_int
+        (Printf.sprintf "star %d ccp" sats)
+        ((n - 1) * pow 2 (n - 2))
+        (Csg.count_csg_cmp_pairs g))
+    [ 2; 3; 4; 5 ]
+
+let test_counts_clique () =
+  List.iter
+    (fun n ->
+      let g = Workloads.Shapes.clique n in
+      check_int
+        (Printf.sprintf "clique %d csg" n)
+        (pow 2 n - 1)
+        (Csg.count_connected_subgraphs g);
+      check_int
+        (Printf.sprintf "clique %d ccp" n)
+        ((pow 3 n - pow 2 (n + 1) + 1) / 2)
+        (Csg.count_csg_cmp_pairs g))
+    [ 2; 3; 4; 5 ]
+
+let test_join_tree_counts () =
+  (* chains: 2^(n-1) * Catalan(n-1); cliques: (2n-2)!/(n-1)! *)
+  let catalan n =
+    let rec binom n k = if k = 0 then 1 else binom (n - 1) (k - 1) * n / k in
+    binom (2 * n) n / (n + 1)
+  in
+  List.iter
+    (fun n ->
+      check_int
+        (Printf.sprintf "chain %d trees" n)
+        (pow 2 (n - 1) * catalan (n - 1))
+        (Csg.count_join_trees (Workloads.Shapes.chain n)))
+    [ 2; 3; 4; 5; 6 ];
+  let rec fact n = if n <= 1 then 1 else n * fact (n - 1) in
+  List.iter
+    (fun n ->
+      check_int
+        (Printf.sprintf "clique %d trees" n)
+        (fact (2 * n - 2) / fact (n - 1))
+        (Csg.count_join_trees (Workloads.Shapes.clique n)))
+    [ 2; 3; 4; 5 ];
+  (* hyperedges restrict: the Fig. 2 graph has far fewer trees than
+     the same 6 relations in a clique *)
+  check "fig2 restricted" true
+    (Csg.count_join_trees (fig2 ())
+    < Csg.count_join_trees (Workloads.Shapes.clique 6))
+
+let test_counts_fig2 () =
+  (* the paper's own example graph has exactly 9 csg-cmp-pairs
+     (Figure 3 trace) *)
+  check_int "fig2 ccp" 9 (Csg.count_csg_cmp_pairs (fig2 ()))
+
+(* ---------- serialization ---------- *)
+
+let graphs_equal g1 g2 =
+  G.num_nodes g1 = G.num_nodes g2
+  && G.num_edges g1 = G.num_edges g2
+  && List.for_all
+       (fun i ->
+         let r1 = G.relation g1 i and r2 = G.relation g2 i in
+         r1.G.name = r2.G.name
+         && r1.G.card = r2.G.card
+         && Ns.equal r1.G.free r2.G.free)
+       (List.init (G.num_nodes g1) Fun.id)
+  && List.for_all2
+       (fun (e1 : He.t) (e2 : He.t) ->
+         Ns.equal e1.u e2.u && Ns.equal e1.v e2.v && Ns.equal e1.w e2.w
+         && Relalg.Operator.equal e1.op e2.op
+         && Float.abs (e1.sel -. e2.sel) < 1e-9)
+       (Array.to_list (G.edges g1))
+       (Array.to_list (G.edges g2))
+
+let test_serialize_roundtrip () =
+  let cases =
+    [ fig2 (); Workloads.Shapes.cycle 7; Workloads.Shapes.star 5 ]
+    @ Workloads.Splits.star_based 6
+    @ [
+        G.make
+          [|
+            G.base_rel ~card:10.0 "A";
+            G.base_rel ~card:20.0 ~free:(ns [ 0 ]) "f";
+            G.base_rel "C";
+          |]
+          [|
+            He.make ~op:Relalg.Operator.d_join ~sel:0.25 ~id:0 (ns [ 0 ])
+              (ns [ 1 ]);
+            He.make ~w:(ns [ 1 ]) ~op:Relalg.Operator.left_anti ~sel:0.5 ~id:1
+              (ns [ 0 ]) (ns [ 2 ]);
+          |];
+      ]
+  in
+  List.iteri
+    (fun i g ->
+      match Hypergraph.Serialize.of_string (Hypergraph.Serialize.to_string g) with
+      | Ok g' ->
+          check (Printf.sprintf "case %d roundtrips" i) true (graphs_equal g g')
+      | Error m -> Alcotest.failf "case %d: %s" i m)
+    cases
+
+let test_serialize_optimizes_same () =
+  (* a deserialized graph yields the same optimum (predicate bodies
+     are synthetic but costing only uses selectivities) *)
+  let g = Workloads.Shapes.cycle 7 in
+  match Hypergraph.Serialize.of_string (Hypergraph.Serialize.to_string g) with
+  | Error m -> Alcotest.fail m
+  | Ok g' ->
+      let c g =
+        match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+        | Some p -> p.Plans.Plan.cost
+        | None -> nan
+      in
+      Alcotest.(check (float 1e-6)) "same optimum" (c g) (c g')
+
+let test_serialize_errors () =
+  let err s =
+    match Hypergraph.Serialize.of_string s with Error _ -> true | Ok _ -> false
+  in
+  check "bad op" true (err "rel A\nrel B\nedge u=0 v=1 op=zig");
+  check "bad index" true (err "rel A\nedge u=0 v=zz");
+  check "empty u" true (err "rel A\nrel B\nedge v=1");
+  check "unknown keyword" true (err "relation A");
+  check "overlap rejected" true (err "rel A\nrel B\nedge u=0 v=0");
+  check "comments and blanks ok" false (err "# hi\n\nrel A\nrel B\nedge u=0 v=1")
+
+(* ---------- DOT export ---------- *)
+
+let test_dot () =
+  let dot = Hypergraph.Dot.to_dot (fig2 ()) in
+  check "has graph header" true
+    (String.length dot > 10 && String.sub dot 0 5 = "graph");
+  let contains needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "hyperedge box present" true (contains "he4" dot);
+  check "all relations present" true (contains "R6" dot)
+
+let () =
+  Alcotest.run "hypergraph"
+    [
+      ( "hyperedge",
+        [
+          Alcotest.test_case "validation" `Quick test_edge_make_validation;
+          Alcotest.test_case "classification" `Quick test_edge_classification;
+          Alcotest.test_case "connects/orient" `Quick test_edge_connects;
+          Alcotest.test_case "generalized w" `Quick test_edge_connects_generalized;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "validation" `Quick test_graph_validation;
+          Alcotest.test_case "accessors" `Quick test_graph_accessors;
+          Alcotest.test_case "connecting edges" `Quick test_connecting_edges;
+          Alcotest.test_case "components/ensure_connected" `Quick
+            test_components_and_ensure_connected;
+        ] );
+      ( "neighborhood",
+        [
+          Alcotest.test_case "paper example" `Quick test_neighborhood_paper_example;
+          Alcotest.test_case "simple edges" `Quick test_neighborhood_simple_edges;
+          Alcotest.test_case "hypernode exclusion" `Quick
+            test_neighborhood_exclusion_of_hypernode;
+          Alcotest.test_case "subsumption" `Quick test_neighborhood_subsumption;
+          Alcotest.test_case "generalized" `Quick test_neighborhood_generalized;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "Definition 3 subtlety" `Quick
+            test_connectivity_paper_subtlety;
+          Alcotest.test_case "chain" `Quick test_connectivity_chain;
+          Alcotest.test_case "overapprox" `Quick test_reachable_overapprox;
+        ] );
+      ( "csg_enum",
+        [
+          Alcotest.test_case "chain closed form" `Quick test_counts_chain;
+          Alcotest.test_case "star closed form" `Quick test_counts_star;
+          Alcotest.test_case "clique closed form" `Quick test_counts_clique;
+          Alcotest.test_case "fig2 = 9" `Quick test_counts_fig2;
+          Alcotest.test_case "join tree counts" `Quick test_join_tree_counts;
+        ] );
+      ("dot", [ Alcotest.test_case "export" `Quick test_dot ]);
+      ( "serialize",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;
+          Alcotest.test_case "same optimum" `Quick test_serialize_optimizes_same;
+          Alcotest.test_case "errors" `Quick test_serialize_errors;
+        ] );
+    ]

@@ -1,0 +1,406 @@
+(* End-to-end integration properties.
+
+   The flagship property: for a random initial operator tree over the
+   full Section 5.1 operator set, the plan DPhyp produces from the
+   TES-derived hypergraph computes exactly the same bag as the
+   original tree on random data.  This exercises every library in the
+   repository at once: workload generation, simplification, conflict
+   analysis, hyperedge derivation, enumeration, plan building, plan
+   re-materialization and execution. *)
+
+module Ns = Nodeset.Node_set
+module Ot = Relalg.Optree
+module Op = Relalg.Operator
+
+let ops_inner = Op.[ join ]
+let ops_outer = Op.[ join; left_outer; full_outer ]
+let ops_all = Op.[ join; left_outer; full_outer; left_semi; left_anti; left_nest ]
+
+type outcome = Equivalent | No_plan | Mismatch of string
+
+let pipeline ~conservative ~seed ~n ~ops =
+  let tree =
+    Conflicts.Simplify.simplify (Workloads.Random_trees.random_tree ~seed ~n ~ops)
+  in
+  let analysis = Conflicts.Analysis.analyze ~conservative tree in
+  let g = Conflicts.Derive.hypergraph analysis in
+  match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+  | None -> No_plan
+  | Some plan -> (
+      let inst = Executor.Instance.for_tree ~seed:((seed * 31) + 7) tree in
+      let expected = Executor.Exec.eval inst tree in
+      let optimized = Plans.Plan.to_optree g plan in
+      let got = Executor.Exec.eval inst optimized in
+      let u1 = List.sort compare (Executor.Exec.output_tables tree) in
+      let u2 = List.sort compare (Executor.Exec.output_tables optimized) in
+      if u1 <> u2 then
+        Mismatch
+          (Printf.sprintf "output tables differ: {%s} vs {%s}"
+             (String.concat "," (List.map string_of_int u1))
+             (String.concat "," (List.map string_of_int u2)))
+      else
+        match Executor.Bag.diff_summary ~universe:u1 expected got with
+        | None -> Equivalent
+        | Some m -> Mismatch m)
+
+let equivalence_prop ~name ~conservative ~ops ~count ~n =
+  QCheck.Test.make ~name ~count
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      match pipeline ~conservative ~seed ~n ~ops with
+      | Equivalent -> true
+      | No_plan -> QCheck.Test.fail_reportf "no plan for seed %d" seed
+      | Mismatch m -> QCheck.Test.fail_reportf "seed %d: %s" seed m)
+
+let prop_inner = equivalence_prop ~name:"inner-only plans equivalent"
+    ~conservative:false ~ops:ops_inner ~count:60 ~n:6
+
+let prop_outer_literal =
+  equivalence_prop ~name:"outer-join plans equivalent (literal gate)"
+    ~conservative:false ~ops:ops_outer ~count:200 ~n:6
+
+let prop_outer_conservative =
+  equivalence_prop ~name:"outer-join plans equivalent (conservative gate)"
+    ~conservative:true ~ops:ops_outer ~count:200 ~n:6
+
+let prop_all_literal =
+  equivalence_prop ~name:"all-operator plans equivalent (literal gate)"
+    ~conservative:false ~ops:ops_all ~count:250 ~n:6
+
+let prop_all_conservative =
+  equivalence_prop ~name:"all-operator plans equivalent (conservative gate)"
+    ~conservative:true ~ops:ops_all ~count:250 ~n:6
+
+(* same flagship property through the CD-C (2013) conflict detector *)
+let prop_cdc_equivalence =
+  QCheck.Test.make ~name:"all-operator plans equivalent (CD-C rules)"
+    ~count:250
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let tree =
+        Conflicts.Simplify.simplify
+          (Workloads.Random_trees.random_tree ~seed ~n:6 ~ops:ops_all)
+      in
+      let a = Conflicts.Cdc.analyze tree in
+      let g, filter = Conflicts.Cdc.derive a in
+      match (Core.Optimizer.run ~filter Core.Optimizer.Dphyp g).plan with
+      | None -> QCheck.Test.fail_reportf "seed %d: no plan" seed
+      | Some plan -> (
+          let inst = Executor.Instance.for_tree ~seed:((seed * 31) + 7) tree in
+          let u = Executor.Exec.output_tables tree in
+          match
+            Executor.Bag.diff_summary ~universe:u
+              (Executor.Exec.eval inst tree)
+              (Executor.Exec.eval inst (Plans.Plan.to_optree g plan))
+          with
+          | None -> true
+          | Some m -> QCheck.Test.fail_reportf "seed %d: %s" seed m))
+
+let prop_bigger_trees =
+  equivalence_prop ~name:"8-relation trees equivalent"
+    ~conservative:false ~ops:ops_all ~count:40 ~n:8
+
+(* the conservative gate's search space is a subset of the literal
+   gate's: it absorbs strictly more TESs, so its hyperedges are at
+   least as restrictive and it admits at most as many connected
+   subgraphs (DP entries) and csg-cmp-pairs.  (Plan COSTS are not
+   directly comparable — the two modes attach selectivities to
+   different hyperedge shapes, so the same join tree may be priced
+   differently.) *)
+let prop_conservative_subset =
+  QCheck.Test.make ~name:"conservative search space <= literal's" ~count:80
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let tree =
+        Conflicts.Simplify.simplify
+          (Workloads.Random_trees.random_tree ~seed ~n:6 ~ops:ops_all)
+      in
+      let space conservative =
+        let a = Conflicts.Analysis.analyze ~conservative tree in
+        let g = Conflicts.Derive.hypergraph a in
+        let r = Core.Optimizer.run Core.Optimizer.Dphyp g in
+        (r.Core.Optimizer.dp_entries, r.counters.Core.Counters.ccp_emitted)
+      in
+      let e_cons, c_cons = space true and e_lit, c_lit = space false in
+      e_cons <= e_lit && c_cons <= c_lit)
+
+(* DPhyp and DPsize agree on tree-derived hypergraphs too *)
+let prop_algorithms_agree_noninner =
+  QCheck.Test.make ~name:"dphyp = dpsize on non-inner hypergraphs" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let tree =
+        Conflicts.Simplify.simplify
+          (Workloads.Random_trees.random_tree ~seed ~n:6 ~ops:ops_outer)
+      in
+      let a = Conflicts.Analysis.analyze tree in
+      let g = Conflicts.Derive.hypergraph a in
+      let c algo =
+        match (Core.Optimizer.run algo g).plan with
+        | Some p -> p.Plans.Plan.cost
+        | None -> nan
+      in
+      let c1 = c Core.Optimizer.Dphyp and c2 = c Core.Optimizer.Dpsize in
+      Float.abs (c1 -. c2) <= 1e-9 *. Float.max 1.0 c1)
+
+(* the ses-graph + TES-filter mode agrees with the hypergraph mode *)
+let prop_tes_filter_agrees =
+  QCheck.Test.make ~name:"TES generate-and-test = hypergraph mode" ~count:60
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let tree =
+        Conflicts.Simplify.simplify
+          (Workloads.Random_trees.random_tree ~seed ~n:6 ~ops:ops_outer)
+      in
+      let a = Conflicts.Analysis.analyze ~conservative:true tree in
+      let g = Conflicts.Derive.hypergraph a in
+      let gs, filter = Conflicts.Derive.ses_graph a in
+      let c1 =
+        match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+        | Some p -> p.Plans.Plan.cost
+        | None -> nan
+      in
+      let c2 =
+        match (Core.Optimizer.run ~filter Core.Optimizer.Dphyp gs).plan with
+        | Some p -> p.Plans.Plan.cost
+        | None -> nan
+      in
+      Float.abs (c1 -. c2) <= 1e-9 *. Float.max 1.0 c1)
+
+(* the optimized plan never costs more than the plan corresponding to
+   the original left-deep evaluation order *)
+let original_order_cost g (tree : Ot.t) =
+  (* cost the original tree shape using the same model and edges *)
+  let module G = Hypergraph.Graph in
+  let rec go t =
+    match t with
+    | Ot.Leaf l -> Plans.Plan.scan g l.Ot.node
+    | Ot.Node n ->
+        let left = go n.Ot.left and right = go n.Ot.right in
+        let edges =
+          G.connecting_edges g left.Plans.Plan.set right.Plans.Plan.set
+        in
+        let edge_ids =
+          List.map (fun ((e : Hypergraph.Hyperedge.t), _) -> e.id) edges
+        in
+        let sel = Costing.Cardinality.selectivity_product edges in
+        Plans.Plan.join Costing.Cost_model.c_out ~op:n.Ot.op ~edge_ids ~sel
+          left right
+  in
+  (go tree).Plans.Plan.cost
+
+let prop_optimal_not_worse_than_original =
+  QCheck.Test.make ~name:"optimized cost <= original order cost" ~count:80
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let tree =
+        Conflicts.Simplify.simplify
+          (Workloads.Random_trees.random_tree ~seed ~n:7 ~ops:ops_outer)
+      in
+      let a = Conflicts.Analysis.analyze tree in
+      let g = Conflicts.Derive.hypergraph a in
+      match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+      | None -> false
+      | Some p -> p.Plans.Plan.cost <= original_order_cost g tree +. 1e-6)
+
+(* dependent operators end to end: a left-deep star where one
+   satellite is a table function over the hub — Section 5.6's
+   dependent switch must fire and the executed plan must match *)
+let dependent_pipeline seed =
+  let n = 5 in
+  let rng = Random.State.make [| 4242; seed |] in
+  let dep_leaf = 1 + Random.State.int rng (n - 1) in
+  let lop =
+    Op.[ join; left_outer; left_semi; left_anti ]
+  in
+  let tree = ref (Ot.leaf 0 "hub") in
+  for i = 1 to n - 1 do
+    let op = List.nth lop (Random.State.int rng (List.length lop)) in
+    let op = if i = dep_leaf then Op.to_dependent op else op in
+    let free = if i = dep_leaf then Ns.singleton 0 else Ns.empty in
+    let leaf = Ot.leaf ~free i (Printf.sprintf "s%d" i) in
+    tree := Ot.op op (Relalg.Predicate.eq_cols 0 (Printf.sprintf "a%d" i) i "v") !tree leaf
+  done;
+  let tree = Conflicts.Simplify.simplify !tree in
+  let analysis = Conflicts.Analysis.analyze ~conservative:true tree in
+  let g = Conflicts.Derive.hypergraph analysis in
+  match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+  | None -> `No_plan
+  | Some plan -> (
+      (* the plan must be structurally valid including dependence *)
+      match Plans.Plan_check.check g plan with
+      | _ :: _ as issues ->
+          `Check_failed
+            (String.concat "; "
+               (List.map Plans.Plan_check.issue_to_string issues))
+      | [] -> (
+          let inst = Executor.Instance.for_tree ~seed:(seed + 17) tree in
+          let expected = Executor.Exec.eval inst tree in
+          let got =
+            Executor.Exec.eval inst (Plans.Plan.to_optree g plan)
+          in
+          let u = Executor.Exec.output_tables tree in
+          match Executor.Bag.diff_summary ~universe:u expected got with
+          | None -> `Ok
+          | Some m -> `Mismatch m))
+
+let prop_dependent_pipeline =
+  QCheck.Test.make ~name:"dependent operators through the pipeline" ~count:80
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      match dependent_pipeline seed with
+      | `Ok -> true
+      | `No_plan -> QCheck.Test.fail_reportf "seed %d: no plan" seed
+      | `Check_failed m -> QCheck.Test.fail_reportf "seed %d: %s" seed m
+      | `Mismatch m -> QCheck.Test.fail_reportf "seed %d: %s" seed m)
+
+(* estimation quality: with a catalog calibrated from the data, the
+   optimizer's choice is never executed-worse than the original order
+   (fixed seeds → deterministic) *)
+let test_calibrated_optimization_helps () =
+  List.iter
+    (fun seed ->
+      let tree =
+        Workloads.Random_trees.random_tree ~seed ~n:6 ~ops:Op.[ join ]
+      in
+      let inst =
+        Executor.Instance.for_tree ~rows:10 ~domain:3 ~seed:(seed + 5) tree
+      in
+      let g0 = Conflicts.Derive.hypergraph (Conflicts.Analysis.analyze tree) in
+      let g = Executor.Estimate.calibrate ~sample:10 inst g0 in
+      match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+      | None -> Alcotest.failf "seed %d: no plan" seed
+      | Some plan ->
+          let actual =
+            Executor.Stats.actual_cout inst (Plans.Plan.to_optree g plan)
+          in
+          let original = Executor.Stats.actual_cout inst tree in
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d: optimized not worse on data" seed)
+            true
+            (actual <= (original *. 1.05) +. 1.0))
+    (List.init 10 Fun.id)
+
+(* deterministic regression cases caught during development *)
+let test_regression_seed_325 () =
+  (* nest over transitively-padded anchors (see test_conflicts) must
+     stay equivalent end-to-end under both gates *)
+  List.iter
+    (fun conservative ->
+      match pipeline ~conservative ~seed:325 ~n:7 ~ops:ops_all with
+      | Equivalent -> ()
+      | No_plan -> Alcotest.fail "no plan"
+      | Mismatch m -> Alcotest.failf "seed 325 (conservative=%b): %s" conservative m)
+    [ false; true ]
+
+let test_regression_seed_667 () =
+  List.iter
+    (fun conservative ->
+      match pipeline ~conservative ~seed:667 ~n:7 ~ops:ops_all with
+      | Equivalent -> ()
+      | No_plan -> Alcotest.fail "no plan"
+      | Mismatch m -> Alcotest.failf "seed 667 (conservative=%b): %s" conservative m)
+    [ false; true ]
+
+let test_regression_louter_chain () =
+  (* seed 76 from development: right-nested louter chain *)
+  List.iter
+    (fun seed ->
+      match pipeline ~conservative:false ~seed ~n:5 ~ops:ops_outer with
+      | Equivalent -> ()
+      | No_plan -> Alcotest.fail "no plan"
+      | Mismatch m -> Alcotest.failf "seed %d: %s" seed m)
+    [ 76; 97; 114; 146; 161; 165; 178 ]
+
+(* paper workloads end to end *)
+let test_paper_workloads_have_plans () =
+  List.iter
+    (fun k ->
+      let t = Workloads.Noninner.star_antijoins ~n_rel:10 ~k () in
+      List.iter
+        (fun conservative ->
+          let a = Conflicts.Analysis.analyze ~conservative t in
+          let g = Conflicts.Derive.hypergraph a in
+          Alcotest.(check bool)
+            (Printf.sprintf "star k=%d conservative=%b" k conservative)
+            true
+            ((Core.Optimizer.run Core.Optimizer.Dphyp g).plan <> None))
+        [ false; true ];
+      let t2 = Workloads.Noninner.cycle_outerjoins ~n_rel:10 ~k () in
+      let a2 = Conflicts.Analysis.analyze t2 in
+      let g2 = Conflicts.Derive.hypergraph a2 in
+      Alcotest.(check bool)
+        (Printf.sprintf "cycle k=%d" k)
+        true
+        ((Core.Optimizer.run Core.Optimizer.Dphyp g2).plan <> None))
+    [ 0; 3; 6; 9 ]
+
+let test_fig8a_search_space_shrinks () =
+  (* conservative mode: more antijoins, (weakly) smaller search space;
+     the all-antijoin star collapses to a linear chain *)
+  let ccp k =
+    let t = Workloads.Noninner.star_antijoins ~n_rel:12 ~k () in
+    let a = Conflicts.Analysis.analyze ~conservative:true t in
+    let g = Conflicts.Derive.hypergraph a in
+    (Core.Optimizer.run Core.Optimizer.Dphyp g).counters
+      .Core.Counters.ccp_emitted
+  in
+  let c0 = ccp 0 and c5 = ccp 5 and c11 = ccp 11 in
+  Alcotest.(check bool) "k=0 > k=5" true (c0 > c5);
+  Alcotest.(check bool) "k=5 > k=11" true (c5 > c11);
+  Alcotest.(check int) "all-antijoin star is a chain" 11 c11
+
+let test_fig8b_nonmonotone () =
+  (* cycle with outer joins: space shrinks then grows again *)
+  let ccp k =
+    let t = Workloads.Noninner.cycle_outerjoins ~n_rel:12 ~k () in
+    let a = Conflicts.Analysis.analyze ~conservative:true t in
+    let g = Conflicts.Derive.hypergraph a in
+    (Core.Optimizer.run Core.Optimizer.Dphyp g).counters
+      .Core.Counters.ccp_emitted
+  in
+  let c0 = ccp 0 and cmid = ccp 4 and cfull = ccp 11 in
+  Alcotest.(check bool) "mid < ends" true (cmid < c0 && cmid < cfull)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "integration"
+    [
+      ( "semantic-equivalence",
+        [
+          q prop_inner;
+          q prop_outer_literal;
+          q prop_outer_conservative;
+          q prop_all_literal;
+          q prop_all_conservative;
+          q prop_bigger_trees;
+          q prop_cdc_equivalence;
+        ] );
+      ( "cross-checks",
+        [
+          q prop_conservative_subset;
+          q prop_algorithms_agree_noninner;
+          q prop_tes_filter_agrees;
+          q prop_optimal_not_worse_than_original;
+          q prop_dependent_pipeline;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "seed 325 (nest over padding)" `Quick
+            test_regression_seed_325;
+          Alcotest.test_case "seed 667 (double nest)" `Quick
+            test_regression_seed_667;
+          Alcotest.test_case "louter chains" `Quick test_regression_louter_chain;
+        ] );
+      ( "estimation",
+        [
+          Alcotest.test_case "calibrated optimization helps" `Quick
+            test_calibrated_optimization_helps;
+        ] );
+      ( "paper-workloads",
+        [
+          Alcotest.test_case "plans exist" `Quick test_paper_workloads_have_plans;
+          Alcotest.test_case "fig8a shrinkage" `Quick test_fig8a_search_space_shrinks;
+          Alcotest.test_case "fig8b non-monotone" `Quick test_fig8b_nonmonotone;
+        ] );
+    ]

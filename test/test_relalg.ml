@@ -1,0 +1,311 @@
+(* Tests for the relational-algebra substrate: values and 3VL,
+   scalars, predicates (incl. strongness), aggregates, operator traits
+   (Observation 1 of the paper) and operator trees. *)
+
+module V = Relalg.Value
+module S = Relalg.Scalar
+module P = Relalg.Predicate
+module A = Relalg.Aggregate
+module Op = Relalg.Operator
+module Ot = Relalg.Optree
+module Ns = Nodeset.Node_set
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- values ---------- *)
+
+let test_value_cmp3 () =
+  check "null incomparable left" true (V.cmp3 V.Null (V.Int 3) = None);
+  check "null incomparable right" true (V.cmp3 (V.Int 3) V.Null = None);
+  check "int eq" true (V.cmp3 (V.Int 3) (V.Int 3) = Some 0);
+  check "int lt" true (match V.cmp3 (V.Int 2) (V.Int 3) with Some c -> c < 0 | None -> false);
+  check "int/float mix" true (V.cmp3 (V.Int 2) (V.Float 2.0) = Some 0);
+  check "str" true (match V.cmp3 (V.Str "a") (V.Str "b") with Some c -> c < 0 | None -> false);
+  check "int vs str incomparable" true (V.cmp3 (V.Int 1) (V.Str "a") = None);
+  check "bool vs int incomparable" true (V.cmp3 (V.Bool true) (V.Int 1) = None)
+
+let test_truth_tables () =
+  let open V in
+  (* AND *)
+  check "T&&T" true (truth_and True True = True);
+  check "T&&U" true (truth_and True Unknown = Unknown);
+  check "F&&U" true (truth_and False Unknown = False);
+  check "U&&F" true (truth_and Unknown False = False);
+  check "U&&U" true (truth_and Unknown Unknown = Unknown);
+  (* OR *)
+  check "T||U" true (truth_or True Unknown = True);
+  check "U||T" true (truth_or Unknown True = True);
+  check "F||U" true (truth_or False Unknown = Unknown);
+  check "F||F" true (truth_or False False = False);
+  (* NOT *)
+  check "!U" true (truth_not Unknown = Unknown);
+  check "!T" true (truth_not True = False);
+  (* filter semantics *)
+  check "is_true U" false (is_true Unknown);
+  check "is_true F" false (is_true False);
+  check "is_true T" true (is_true True)
+
+let test_value_arith () =
+  check "int add" true (V.add (V.Int 2) (V.Int 3) = V.Int 5);
+  check "mixed add" true (V.add (V.Int 2) (V.Float 0.5) = V.Float 2.5);
+  check "null add propagates" true (V.add V.Null (V.Int 1) = V.Null);
+  check "str add is null" true (V.add (V.Str "x") (V.Int 1) = V.Null);
+  check "sub" true (V.sub (V.Int 5) (V.Int 3) = V.Int 2);
+  check "mul" true (V.mul (V.Int 5) (V.Int 3) = V.Int 15);
+  check "to_float int" true (V.to_float (V.Int 3) = Some 3.0);
+  check "to_float str" true (V.to_float (V.Str "a") = None)
+
+let test_value_compare_total () =
+  (* compare is a total order: Null < Bool < numeric < Str *)
+  check "null first" true (V.compare V.Null (V.Bool false) < 0);
+  check "bool before int" true (V.compare (V.Bool true) (V.Int 0) < 0);
+  check "int before str" true (V.compare (V.Int 999) (V.Str "") < 0);
+  check "equal nulls" true (V.compare V.Null V.Null = 0)
+
+(* ---------- scalars ---------- *)
+
+let lookup_const tbl attr =
+  match tbl, attr with
+  | 0, "a" -> V.Int 10
+  | 1, "b" -> V.Int 4
+  | _ -> V.Null
+
+let test_scalar_eval () =
+  let e = S.Add (S.col 0 "a", S.Mul (S.col 1 "b", S.int 2)) in
+  check "10 + 4*2" true (S.eval ~lookup:lookup_const e = V.Int 18);
+  check "null col" true (S.eval ~lookup:lookup_const (S.col 5 "z") = V.Null)
+
+let test_scalar_free_tables () =
+  let e = S.Sub (S.col 3 "x", S.Add (S.col 1 "y", S.int 7)) in
+  Alcotest.(check (list int)) "free tables" [ 1; 3 ] (Ns.to_list (S.free_tables e));
+  check "const has none" true (Ns.is_empty (S.free_tables (S.int 3)))
+
+let test_scalar_rename () =
+  let e = S.Add (S.col 0 "a", S.col 1 "b") in
+  let e' = S.rename_tables (fun t -> t + 10) e in
+  Alcotest.(check (list int)) "renamed" [ 10; 11 ] (Ns.to_list (S.free_tables e'))
+
+(* ---------- predicates ---------- *)
+
+let test_pred_eval () =
+  let p = P.eq_cols 0 "a" 1 "b" in
+  let lookup_eq _ _ = V.Int 1 in
+  check "eq holds" true (P.holds ~lookup:lookup_eq p);
+  let lookup_null t _ = if t = 0 then V.Null else V.Int 1 in
+  check "null never matches" false (P.holds ~lookup:lookup_null p);
+  check "eval unknown" true (P.eval ~lookup:lookup_null p = V.Unknown);
+  check "not unknown is unknown" true
+    (P.eval ~lookup:lookup_null (P.Not p) = V.Unknown)
+
+let test_pred_cmp_ops () =
+  let mk op = P.Cmp (op, S.col 0 "a", S.int 10) in
+  let lk _ _ = V.Int 10 in
+  check "eq" true (P.holds ~lookup:lk (mk P.Eq));
+  check "ne" false (P.holds ~lookup:lk (mk P.Ne));
+  check "le" true (P.holds ~lookup:lk (mk P.Le));
+  check "lt" false (P.holds ~lookup:lk (mk P.Lt));
+  check "ge" true (P.holds ~lookup:lk (mk P.Ge));
+  check "gt" false (P.holds ~lookup:lk (mk P.Gt))
+
+let test_pred_strong () =
+  let p01 = P.eq_cols 0 "a" 1 "b" in
+  let p23 = P.eq_cols 2 "c" 3 "d" in
+  check "cmp strong on referenced" true (P.is_strong_wrt p01 0);
+  check "cmp strong on other side" true (P.is_strong_wrt p01 1);
+  check "cmp not strong on unreferenced" false (P.is_strong_wrt p01 2);
+  check "and strong if either" true (P.is_strong_wrt (P.And (p01, p23)) 0);
+  check "or needs both" false (P.is_strong_wrt (P.Or (p01, p23)) 0);
+  check "or strong if both" true
+    (P.is_strong_wrt (P.Or (p01, P.eq_cols 0 "x" 5 "y")) 0);
+  check "not never strong" false (P.is_strong_wrt (P.Not p01) 0);
+  check "true not strong" false (P.is_strong_wrt P.True_ 0);
+  check "false strong" true (P.is_strong_wrt P.False_ 0)
+
+let test_pred_conj () =
+  check "conj empty" true (P.conj [] = P.True_);
+  let p = P.eq_cols 0 "a" 1 "b" in
+  check "conj single" true (P.conj [ p ] = p);
+  (match P.conj [ p; p ] with
+  | P.And (_, _) -> ()
+  | _ -> Alcotest.fail "conj pair should be And");
+  Alcotest.(check (list int)) "free tables of conj" [ 0; 1 ]
+    (Ns.to_list (P.free_tables (P.conj [ p; p ])))
+
+(* ---------- aggregates ---------- *)
+
+let group vals = List.map (fun v _ _ -> V.Int v) vals
+(* each member env returns the same value for any column *)
+
+let test_aggregates () =
+  let g = group [ 1; 2; 3; 4 ] in
+  let arg = S.col 0 "x" in
+  check "count" true (A.eval ~lookups:g (A.count "c") = V.Int 4);
+  check "count empty" true (A.eval ~lookups:[] (A.count "c") = V.Int 0);
+  check "sum" true (A.eval ~lookups:g (A.sum "s" arg) = V.Float 10.0);
+  check "min" true (A.eval ~lookups:g (A.minimum "m" arg) = V.Float 1.0);
+  check "max" true (A.eval ~lookups:g (A.maximum "m" arg) = V.Float 4.0);
+  check "avg" true (A.eval ~lookups:g (A.avg "a" arg) = V.Float 2.5);
+  check "sum empty is null" true (A.eval ~lookups:[] (A.sum "s" arg) = V.Null)
+
+let test_aggregate_null_skip () =
+  let lookups = [ (fun _ _ -> V.Int 2); (fun _ _ -> V.Null); (fun _ _ -> V.Int 4) ] in
+  let arg = S.col 0 "x" in
+  check "sum skips nulls" true (A.eval ~lookups (A.sum "s" arg) = V.Float 6.0);
+  check "avg skips nulls" true (A.eval ~lookups (A.avg "a" arg) = V.Float 3.0);
+  check "count counts rows" true (A.eval ~lookups (A.count "c") = V.Int 3)
+
+let test_aggregate_free_tables () =
+  check "count has no tables" true (Ns.is_empty (A.free_tables (A.count "c")));
+  Alcotest.(check (list int)) "sum arg tables" [ 2 ]
+    (Ns.to_list (A.free_tables (A.sum "s" (S.col 2 "x"))))
+
+(* ---------- operators: Observation 1 ---------- *)
+
+let test_operator_traits () =
+  (* all operators in LOP are left-linear, B is left- and right-linear,
+     the full outer join is neither *)
+  List.iter
+    (fun op -> check (Op.symbol op ^ " left-linear") true (Op.left_linear op))
+    Op.[ join; left_outer; left_semi; left_anti; left_nest; d_join ];
+  check "full outer not left-linear" false (Op.left_linear Op.full_outer);
+  check "join right-linear" true (Op.right_linear Op.join);
+  List.iter
+    (fun op ->
+      check (Op.symbol op ^ " not right-linear") false (Op.right_linear op))
+    Op.[ left_outer; full_outer; left_semi; left_anti; left_nest ]
+
+let test_operator_commutative () =
+  check "join commutes" true (Op.commutative Op.join);
+  check "full outer commutes" true (Op.commutative Op.full_outer);
+  check "louter does not" false (Op.commutative Op.left_outer);
+  check "semi does not" false (Op.commutative Op.left_semi);
+  check "d-join does not" false (Op.commutative Op.d_join)
+
+let test_operator_dependent () =
+  let d = Op.to_dependent Op.left_outer in
+  check "dependent flag" true d.Op.dependent;
+  check "kind preserved" true (d.Op.kind = Op.Left_outer);
+  Alcotest.check_raises "no dependent full outer"
+    (Invalid_argument "Operator.make: the full outer join has no dependent variant")
+    (fun () -> ignore (Op.to_dependent Op.full_outer));
+  check "equal_kind ignores dependence" true (Op.equal_kind d Op.left_outer);
+  check "equal does not" false (Op.equal d Op.left_outer);
+  Alcotest.(check string) "symbol" "dep-leftouter" (Op.symbol d)
+
+let test_preserves_left () =
+  check "louter preserves" true (Op.preserves_left Op.left_outer);
+  check "nest preserves" true (Op.preserves_left Op.left_nest);
+  check "join does not" false (Op.preserves_left Op.join);
+  check "anti does not" false (Op.preserves_left Op.left_anti)
+
+(* ---------- operator trees ---------- *)
+
+let tree3 =
+  Ot.join (P.eq_cols 0 "v" 2 "v")
+    (Ot.join (P.eq_cols 0 "v" 1 "v") (Ot.leaf 0 "A") (Ot.leaf 1 "B"))
+    (Ot.leaf 2 "C")
+
+let test_optree_shape () =
+  check_int "num_leaves" 3 (Ot.num_leaves tree3);
+  check_int "num_ops" 2 (Ot.num_ops tree3);
+  check_int "height" 3 (Ot.height tree3);
+  check "left deep" true (Ot.is_left_deep tree3);
+  Alcotest.(check (list int)) "tables" [ 0; 1; 2 ] (Ns.to_list (Ot.tables tree3));
+  Alcotest.(check (list string)) "leaf names in order" [ "A"; "B"; "C" ]
+    (List.map (fun (l : Ot.leaf) -> l.name) (Ot.leaves tree3))
+
+let test_optree_validate_ok () =
+  check "valid" true (Ot.validate tree3 = Ok ())
+
+let test_optree_validate_numbering () =
+  let bad =
+    Ot.join (P.eq_cols 0 "v" 1 "v") (Ot.leaf 1 "B") (Ot.leaf 0 "A")
+  in
+  check "bad numbering rejected" true
+    (match Ot.validate bad with Error (Ot.Bad_numbering _) -> true | _ -> false)
+
+let test_optree_validate_scope () =
+  let bad =
+    Ot.join (P.eq_cols 0 "v" 5 "v") (Ot.leaf 0 "A") (Ot.leaf 1 "B")
+  in
+  check "out-of-scope pred rejected" true
+    (match Ot.validate bad with
+    | Error (Ot.Pred_out_of_scope _) -> true
+    | _ -> false)
+
+let test_optree_operators_postorder () =
+  let ops = Ot.operators tree3 in
+  check_int "two ops" 2 (List.length ops);
+  (* post order: inner join over {0,1} first, root second *)
+  let first = List.hd ops in
+  Alcotest.(check (list int)) "first op is the deep one" [ 0; 1 ]
+    (Ns.to_list (P.free_tables first.Ot.pred))
+
+let test_optree_bushy () =
+  let bushy =
+    Ot.join (P.eq_cols 1 "v" 2 "v")
+      (Ot.join (P.eq_cols 0 "v" 1 "v") (Ot.leaf 0 "A") (Ot.leaf 1 "B"))
+      (Ot.join (P.eq_cols 2 "v" 3 "v") (Ot.leaf 2 "C") (Ot.leaf 3 "D"))
+  in
+  check "not left deep" false (Ot.is_left_deep bushy);
+  check "valid" true (Ot.validate bushy = Ok ());
+  check_int "ops" 3 (Ot.num_ops bushy)
+
+let test_optree_free_leaves () =
+  let t =
+    Ot.op Op.d_join (P.eq_cols 0 "v" 1 "v") (Ot.leaf 0 "A")
+      (Ot.leaf ~free:(Ns.singleton 0) 1 "F")
+  in
+  check "valid with free var" true (Ot.validate t = Ok ());
+  let freef = Ot.leaf_free t in
+  Alcotest.(check (list int)) "leaf 1 free" [ 0 ] (Ns.to_list (freef 1));
+  check "leaf 0 closed" true (Ns.is_empty (freef 0))
+
+let () =
+  Alcotest.run "relalg"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "cmp3" `Quick test_value_cmp3;
+          Alcotest.test_case "truth tables" `Quick test_truth_tables;
+          Alcotest.test_case "arith" `Quick test_value_arith;
+          Alcotest.test_case "total order" `Quick test_value_compare_total;
+        ] );
+      ( "scalar",
+        [
+          Alcotest.test_case "eval" `Quick test_scalar_eval;
+          Alcotest.test_case "free_tables" `Quick test_scalar_free_tables;
+          Alcotest.test_case "rename" `Quick test_scalar_rename;
+        ] );
+      ( "predicate",
+        [
+          Alcotest.test_case "eval 3VL" `Quick test_pred_eval;
+          Alcotest.test_case "cmp ops" `Quick test_pred_cmp_ops;
+          Alcotest.test_case "strongness" `Quick test_pred_strong;
+          Alcotest.test_case "conj" `Quick test_pred_conj;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "functions" `Quick test_aggregates;
+          Alcotest.test_case "null skip" `Quick test_aggregate_null_skip;
+          Alcotest.test_case "free tables" `Quick test_aggregate_free_tables;
+        ] );
+      ( "operator",
+        [
+          Alcotest.test_case "linearity (Observation 1)" `Quick test_operator_traits;
+          Alcotest.test_case "commutativity" `Quick test_operator_commutative;
+          Alcotest.test_case "dependent variants" `Quick test_operator_dependent;
+          Alcotest.test_case "preserves_left" `Quick test_preserves_left;
+        ] );
+      ( "optree",
+        [
+          Alcotest.test_case "shape" `Quick test_optree_shape;
+          Alcotest.test_case "validate ok" `Quick test_optree_validate_ok;
+          Alcotest.test_case "validate numbering" `Quick test_optree_validate_numbering;
+          Alcotest.test_case "validate scope" `Quick test_optree_validate_scope;
+          Alcotest.test_case "operators postorder" `Quick test_optree_operators_postorder;
+          Alcotest.test_case "bushy" `Quick test_optree_bushy;
+          Alcotest.test_case "free leaves" `Quick test_optree_free_leaves;
+        ] );
+    ]

@@ -1,0 +1,358 @@
+(* Lexer, parser and binder tests for the toy SQL dialect. *)
+
+module L = Sqlfront.Lexer
+module Pa = Sqlfront.Parser
+module A = Sqlfront.Ast
+module B = Sqlfront.Binder
+module Ot = Relalg.Optree
+module Op = Relalg.Operator
+module Ns = Nodeset.Node_set
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- lexer ---------- *)
+
+let test_lexer_basic () =
+  let toks = L.tokenize "SELECT a.x, 42 FROM t WHERE a.x <= 'hi'" in
+  check "shape" true
+    (toks
+    = [
+        L.KW "SELECT"; L.IDENT "a"; L.DOT; L.IDENT "x"; L.COMMA; L.INT 42;
+        L.KW "FROM"; L.IDENT "t"; L.KW "WHERE"; L.IDENT "a"; L.DOT;
+        L.IDENT "x"; L.LE; L.STRING "hi"; L.EOF;
+      ])
+
+let test_lexer_case_insensitive_keywords () =
+  check "select lowercase" true (L.tokenize "select" = [ L.KW "SELECT"; L.EOF ]);
+  check "ident keeps case" true (L.tokenize "Foo" = [ L.IDENT "Foo"; L.EOF ])
+
+let test_lexer_operators () =
+  check "two-char ops" true
+    (L.tokenize "<> <= >= != < > = + - *"
+    = [ L.NE; L.LE; L.GE; L.NE; L.LT; L.GT; L.EQ; L.PLUS; L.MINUS; L.STAR; L.EOF ])
+
+let test_lexer_errors () =
+  check "bad char" true
+    (try ignore (L.tokenize "a ? b"); false with L.Error _ -> true);
+  check "unterminated string" true
+    (try ignore (L.tokenize "'oops"); false with L.Error _ -> true)
+
+(* ---------- parser ---------- *)
+
+let test_parse_simple () =
+  let q = Pa.parse "SELECT * FROM a JOIN b ON a.x = b.x" in
+  check_int "one join" 1 (List.length q.A.from_rest);
+  check "alias defaults to table" true (q.A.from_first.A.alias = "a");
+  check "select star" true (q.A.select = [ A.Star ])
+
+let test_parse_join_kinds () =
+  let kinds src =
+    List.map (fun (j : A.join) -> j.A.kind) (Pa.parse src).A.from_rest
+  in
+  check "all kinds" true
+    (kinds
+       "SELECT * FROM a JOIN b ON a.x=b.x LEFT JOIN c ON a.x=c.x \
+        LEFT OUTER JOIN d ON a.x=d.x FULL JOIN e ON a.x=e.x \
+        SEMI JOIN f ON a.x=f.x ANTI JOIN g ON a.x=g.x INNER JOIN h ON a.x=h.x"
+    = A.[ Inner; Left_outer; Left_outer; Full_outer; Semi; Anti; Inner ])
+
+let test_parse_comma_join () =
+  let q = Pa.parse "SELECT * FROM a, b, c WHERE a.x = b.x AND b.y = c.y" in
+  check_int "two comma joins" 2 (List.length q.A.from_rest);
+  check "no ON" true
+    (List.for_all (fun (j : A.join) -> j.A.on = None) q.A.from_rest);
+  check "where present" true (q.A.where <> None)
+
+let test_parse_aliases () =
+  let q = Pa.parse "SELECT o.x FROM orders AS o JOIN customer c ON o.k = c.k" in
+  check "AS alias" true (q.A.from_first.A.alias = "o");
+  check "bare alias" true
+    ((List.hd q.A.from_rest).A.item.A.alias = "c")
+
+let test_parse_pred_precedence () =
+  let q = Pa.parse "SELECT * FROM a, b WHERE a.x = 1 AND a.y = 2 OR b.z = 3" in
+  (* AND binds tighter than OR *)
+  (match q.A.where with
+  | Some (A.Or (A.And _, _)) -> ()
+  | _ -> Alcotest.fail "expected Or(And(..), ..)");
+  let q2 = Pa.parse "SELECT * FROM a, b WHERE a.x = 1 AND (a.y = 2 OR b.z = 3)" in
+  match q2.A.where with
+  | Some (A.And (_, A.Or _)) -> ()
+  | _ -> Alcotest.fail "expected And(.., Or(..))"
+
+let test_parse_arith () =
+  let q = Pa.parse "SELECT * FROM a, b WHERE a.x + b.y * 2 = 7" in
+  match q.A.where with
+  | Some (A.Cmp (A.Eq, A.Add (_, A.Mul _), A.Int 7)) -> ()
+  | _ -> Alcotest.fail "expected a.x + (b.y * 2) = 7"
+
+let test_parse_errors () =
+  let bad src =
+    try ignore (Pa.parse src); false with Pa.Error _ -> true
+  in
+  check "missing FROM" true (bad "SELECT *");
+  check "left join needs ON" true (bad "SELECT * FROM a LEFT JOIN b");
+  check "trailing junk" true (bad "SELECT * FROM a JOIN b ON a.x=b.x extra stuff");
+  check "bad predicate" true (bad "SELECT * FROM a, b WHERE a.x ++ b.y")
+
+(* ---------- binder ---------- *)
+
+let bind_ok src =
+  match B.parse_and_bind src with
+  | Ok b -> b
+  | Error msg -> Alcotest.failf "bind failed: %s" msg
+
+let test_bind_numbering () =
+  let b = bind_ok "SELECT * FROM a JOIN b ON a.x=b.x JOIN c ON b.y=c.y" in
+  check "numbered left to right" true
+    (b.B.aliases = [ ("a", 0); ("b", 1); ("c", 2) ]);
+  check "valid tree" true (Ot.validate b.B.tree = Ok ());
+  check "left deep" true (Ot.is_left_deep b.B.tree);
+  check "alias lookup" true (B.node_of_alias b "c" = Some 2);
+  check "unknown alias" true (B.node_of_alias b "zz" = None)
+
+let test_bind_where_attachment () =
+  let b = bind_ok "SELECT * FROM a, b, c WHERE a.x = b.x AND b.y = c.y" in
+  (* conjuncts land on the joins where their tables first meet *)
+  (match b.B.tree with
+  | Ot.Node top ->
+      check "top pred references b,c" true
+        (Ns.equal
+           (Relalg.Predicate.free_tables top.pred)
+           (Ns.of_list [ 1; 2 ]));
+      (match top.left with
+      | Ot.Node inner ->
+          check "inner pred references a,b" true
+            (Ns.equal
+               (Relalg.Predicate.free_tables inner.pred)
+               (Ns.of_list [ 0; 1 ]))
+      | Ot.Leaf _ -> Alcotest.fail "shape")
+  | Ot.Leaf _ -> Alcotest.fail "shape")
+
+let test_bind_where_simplifies_outer_join () =
+  (* WHERE strong on the padded side upgrades the LEFT JOIN *)
+  let b =
+    bind_ok "SELECT * FROM a LEFT JOIN b ON a.x = b.x WHERE b.y = 1"
+  in
+  match b.B.tree with
+  | Ot.Node n -> check "upgraded to inner" true (n.op.Op.kind = Op.Inner)
+  | Ot.Leaf _ -> Alcotest.fail "shape"
+
+let test_bind_where_keeps_outer_join () =
+  (* WHERE on the preserved side must not upgrade; filters over the
+     preserved side of a left join are unsupported and must error,
+     never silently change semantics *)
+  match B.parse_and_bind "SELECT * FROM a LEFT JOIN b ON a.x = b.x WHERE a.y = 1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unsupported-filter error"
+
+let test_bind_errors () =
+  let err src =
+    match B.parse_and_bind src with Error _ -> true | Ok _ -> false
+  in
+  check "duplicate alias" true (err "SELECT * FROM a, a");
+  check "unknown alias in pred" true
+    (err "SELECT * FROM a, b WHERE a.x = zz.y");
+  check "unqualified ambiguous" true (err "SELECT * FROM a, b WHERE x = 1")
+
+let test_bind_unqualified_single_table () =
+  (* with one table, unqualified columns resolve to it; but a WHERE on
+     a single-table query has no join to attach to, so it must be
+     rejected rather than dropped *)
+  match B.parse_and_bind "SELECT * FROM a WHERE x = 1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for filter without join"
+
+let test_bind_semi_anti () =
+  let b =
+    bind_ok "SELECT * FROM a SEMI JOIN b ON a.x=b.x ANTI JOIN c ON a.y=c.y"
+  in
+  let kinds =
+    List.map
+      (fun (n : Ot.node) -> n.op.Op.kind)
+      (Ot.operators b.B.tree)
+  in
+  check "semi then anti" true (kinds = [ Op.Left_semi; Op.Left_anti ])
+
+let test_exists_parse () =
+  let q =
+    Pa.parse
+      "SELECT * FROM a WHERE EXISTS (SELECT * FROM b WHERE b.x = a.x) \
+       AND NOT EXISTS (SELECT 1 FROM c WHERE c.y = a.y)"
+  in
+  match q.A.where with
+  | Some (A.And (A.Exists e1, A.Exists e2)) ->
+      check "first not negated" false e1.A.negated;
+      check "second negated" true e2.A.negated;
+      check "tables" true (e1.A.item.A.table = "b" && e2.A.item.A.table = "c");
+      check "inner where present" true (e1.A.inner_where <> None)
+  | _ -> Alcotest.fail "expected two EXISTS conjuncts"
+
+let test_exists_bind () =
+  let b =
+    bind_ok
+      "SELECT * FROM a JOIN b ON a.k = b.k \
+       WHERE EXISTS (SELECT * FROM v WHERE v.k = a.k) \
+       AND NOT EXISTS (SELECT * FROM w WHERE w.k = b.k)"
+  in
+  (* v and w numbered after the FROM items *)
+  check "v index" true (B.node_of_alias b "v" = Some 2);
+  check "w index" true (B.node_of_alias b "w" = Some 3);
+  let kinds =
+    List.map (fun (n : Ot.node) -> n.op.Op.kind) (Ot.operators b.B.tree)
+  in
+  check "join, semi, anti" true
+    (kinds = [ Op.Inner; Op.Left_semi; Op.Left_anti ]);
+  check "valid" true (Ot.validate b.B.tree = Ok ())
+
+let test_exists_errors () =
+  let err src =
+    match B.parse_and_bind src with Error _ -> true | Ok _ -> false
+  in
+  check "EXISTS under OR rejected" true
+    (err "SELECT * FROM a, b WHERE a.x = b.x OR EXISTS (SELECT * FROM c WHERE c.y = a.y)");
+  check "alias clash rejected" true
+    (err "SELECT * FROM a WHERE EXISTS (SELECT * FROM a WHERE a.x = 1)")
+
+let test_exists_execution () =
+  (* unnested EXISTS must mean SQL EXISTS: execute and compare against
+     a manual semijoin tree *)
+  let b =
+    bind_ok "SELECT * FROM a JOIN b ON a.k = b.k WHERE EXISTS (SELECT * FROM v WHERE v.k = a.k)"
+  in
+  let tree = b.B.tree in
+  let analysis = Conflicts.Analysis.analyze (Conflicts.Simplify.simplify tree) in
+  let g = Conflicts.Derive.hypergraph analysis in
+  match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+  | None -> Alcotest.fail "no plan"
+  | Some plan ->
+      let inst = Executor.Instance.for_tree ~seed:55 ~rows:8 ~domain:4 tree in
+      let u = Executor.Exec.output_tables tree in
+      Alcotest.(check (list int)) "exists table not in output" [ 0; 1 ] u;
+      check "plan equivalent" true
+        (Executor.Bag.equal ~universe:u
+           (Executor.Exec.eval inst tree)
+           (Executor.Exec.eval inst (Plans.Plan.to_optree g plan)))
+
+(* ---------- fuzzing ---------- *)
+
+let prop_parser_never_crashes =
+  (* random token soup must either parse or raise Parser.Error /
+     produce a binder error — never crash with something else *)
+  let vocab =
+    [|
+      "SELECT"; "FROM"; "WHERE"; "JOIN"; "LEFT"; "FULL"; "OUTER"; "SEMI";
+      "ANTI"; "ON"; "AND"; "OR"; "NOT"; "EXISTS"; "AS"; "a"; "b"; "c"; "t1";
+      "x"; "y"; "("; ")"; ","; "."; "="; "<"; "<="; "<>"; "+"; "-"; "*";
+      "42"; "'s'"; ";";
+    |]
+  in
+  QCheck.Test.make ~name:"parser+binder never crash on token soup" ~count:800
+    QCheck.(pair (int_bound 10_000) (int_range 1 25))
+    (fun (seed, len) ->
+      let rng = Random.State.make [| seed; len |] in
+      let src =
+        String.concat " "
+          ("SELECT"
+          :: List.init len (fun _ ->
+                 vocab.(Random.State.int rng (Array.length vocab))))
+      in
+      match B.parse_and_bind src with
+      | Ok _ | Error _ -> true
+      | exception Pa.Error _ -> true
+      | exception _ -> false)
+
+let prop_wellformed_roundtrip =
+  (* pretty-printing a parsed query and re-parsing it yields the same
+     AST (idempotence of the concrete syntax) *)
+  let sources =
+    [|
+      "SELECT * FROM a JOIN b ON a.x = b.x";
+      "SELECT a.x, b.y FROM a, b WHERE a.x = b.y AND a.z = 3";
+      "SELECT * FROM a LEFT JOIN b ON a.x = b.x FULL JOIN c ON b.y = c.y";
+      "SELECT * FROM a SEMI JOIN b ON a.x = b.x ANTI JOIN c ON a.y = c.y";
+      "SELECT * FROM a WHERE EXISTS (SELECT * FROM v WHERE v.k = a.k)";
+      "SELECT * FROM a, b WHERE a.x + b.y * 2 <= 7 OR a.z <> b.z";
+    |]
+  in
+  QCheck.Test.make ~name:"pp/parse roundtrip" ~count:(Array.length sources)
+    QCheck.(int_bound (Array.length sources - 1))
+    (fun i ->
+      let q = Pa.parse sources.(i) in
+      let printed = Format.asprintf "%a" A.pp_query q in
+      Pa.parse printed = q)
+
+(* ---------- full pipeline sanity ---------- *)
+
+let test_pipeline_execution_equivalence () =
+  let b =
+    bind_ok
+      "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y \
+       FULL JOIN d ON a.z = d.z"
+  in
+  let tree = Conflicts.Simplify.simplify b.B.tree in
+  let analysis = Conflicts.Analysis.analyze tree in
+  let g = Conflicts.Derive.hypergraph analysis in
+  match (Core.Optimizer.run Core.Optimizer.Dphyp g).plan with
+  | None -> Alcotest.fail "no plan"
+  | Some plan ->
+      let inst = Executor.Instance.for_tree ~seed:77 tree in
+      let u = Executor.Exec.output_tables tree in
+      check "sql plan equivalent on data" true
+        (Executor.Bag.equal ~universe:u
+           (Executor.Exec.eval inst tree)
+           (Executor.Exec.eval inst (Plans.Plan.to_optree g plan)))
+
+let () =
+  Alcotest.run "sqlfront"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "case insensitive" `Quick
+            test_lexer_case_insensitive_keywords;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "join kinds" `Quick test_parse_join_kinds;
+          Alcotest.test_case "comma joins" `Quick test_parse_comma_join;
+          Alcotest.test_case "aliases" `Quick test_parse_aliases;
+          Alcotest.test_case "precedence" `Quick test_parse_pred_precedence;
+          Alcotest.test_case "arithmetic" `Quick test_parse_arith;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "binder",
+        [
+          Alcotest.test_case "numbering" `Quick test_bind_numbering;
+          Alcotest.test_case "where attachment" `Quick test_bind_where_attachment;
+          Alcotest.test_case "where simplifies louter" `Quick
+            test_bind_where_simplifies_outer_join;
+          Alcotest.test_case "where on preserved side" `Quick
+            test_bind_where_keeps_outer_join;
+          Alcotest.test_case "errors" `Quick test_bind_errors;
+          Alcotest.test_case "single table filter" `Quick
+            test_bind_unqualified_single_table;
+          Alcotest.test_case "semi/anti" `Quick test_bind_semi_anti;
+        ] );
+      ( "exists",
+        [
+          Alcotest.test_case "parse" `Quick test_exists_parse;
+          Alcotest.test_case "bind" `Quick test_exists_bind;
+          Alcotest.test_case "errors" `Quick test_exists_errors;
+          Alcotest.test_case "execution" `Quick test_exists_execution;
+        ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_parser_never_crashes;
+          QCheck_alcotest.to_alcotest prop_wellformed_roundtrip;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "execution equivalence" `Quick
+            test_pipeline_execution_equivalence;
+        ] );
+    ]

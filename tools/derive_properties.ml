@@ -1,0 +1,104 @@
+(* Regenerate the reorderability tables of Conflicts.Properties.
+
+   For each ordered operator-kind pair, both sides of the assoc /
+   l-asscom / r-asscom identities are executed over many random
+   instances (with equality predicates, which are strong — the
+   standing assumption of the paper's Section 5.2).  A property counts
+   as valid only if both sides are syntactically well-formed (no
+   predicate over a consumed table) and the bags agree on every
+   instance.  The output is OCaml source to paste into
+   lib/conflicts/properties.ml; test_conflicts re-verifies the tables
+   on every test run.
+
+   Run with:  dune exec tools/derive_properties.exe *)
+
+module Ot = Relalg.Optree
+module Op = Relalg.Operator
+module P = Relalg.Predicate
+module Ns = Nodeset.Node_set
+
+let kinds = Op.all_kinds
+
+let kind_name = function
+  | Op.Inner -> "Inner"
+  | Op.Left_outer -> "Left_outer"
+  | Op.Full_outer -> "Full_outer"
+  | Op.Left_semi -> "Left_semi"
+  | Op.Left_anti -> "Left_anti"
+  | Op.Left_nest -> "Left_nest"
+
+(* visible tables of a tree (original attrs still addressable) *)
+let rec visible = function
+  | Ot.Leaf l -> Ns.singleton l.Ot.node
+  | Ot.Node n -> (
+      let l = visible n.left and r = visible n.right in
+      match n.op.Op.kind with
+      | Op.Inner | Op.Left_outer | Op.Full_outer -> Ns.union l r
+      | Op.Left_semi | Op.Left_anti | Op.Left_nest -> l)
+
+let well_formed t =
+  let rec ok = function
+    | Ot.Leaf _ -> true
+    | Ot.Node n ->
+        Ns.subset
+          (P.free_tables n.pred)
+          (Ns.union (visible n.left) (visible n.right))
+        && ok n.left && ok n.right
+  in
+  ok t
+
+let mk kind pred l r =
+  let aggs =
+    if kind = Op.Left_nest then [ Relalg.Aggregate.count "cnt" ] else []
+  in
+  Ot.op ~aggs (Op.make kind) pred l r
+
+let agree t1 t2 =
+  if not (well_formed t1 && well_formed t2) then false
+  else begin
+    let u1 = List.sort compare (Executor.Exec.output_tables t1) in
+    let u2 = List.sort compare (Executor.Exec.output_tables t2) in
+    u1 = u2
+    && List.for_all
+         (fun seed ->
+           let inst = Executor.Instance.for_tree ~rows:5 ~domain:3 ~seed t1 in
+           Executor.Bag.equal ~universe:u1
+             (Executor.Exec.eval inst t1)
+             (Executor.Exec.eval inst t2))
+         (List.init 120 Fun.id)
+  end
+
+let leafs () = (Ot.leaf 0 "A", Ot.leaf 1 "B", Ot.leaf 2 "C")
+
+let p01 = P.eq_cols 0 "v" 1 "v"
+let p12 = P.eq_cols 1 "w" 2 "w"
+let p02 = P.eq_cols 0 "u" 2 "u"
+
+let assoc ka kb =
+  let a, b, c = leafs () in
+  agree (mk kb p12 (mk ka p01 a b) c) (mk ka p01 a (mk kb p12 b c))
+
+let l_asscom ka kb =
+  let a, b, c = leafs () in
+  agree (mk kb p02 (mk ka p01 a b) c) (mk ka p01 (mk kb p02 a c) b)
+
+let r_asscom ka kb =
+  let a, b, c = leafs () in
+  agree (mk ka p02 a (mk kb p12 b c)) (mk kb p12 b (mk ka p02 a c))
+
+let dump name f =
+  Printf.printf "let %s_table =\n  [\n" name;
+  List.iter
+    (fun ka ->
+      List.iter
+        (fun kb ->
+          if f ka kb then
+            Printf.printf "    (Op.%s, Op.%s);\n" (kind_name ka) (kind_name kb))
+        kinds)
+    kinds;
+  Printf.printf "  ]\n\n%!"
+
+let () =
+  dump "assoc" assoc;
+  dump "l_asscom" l_asscom;
+  dump "r_asscom" r_asscom
