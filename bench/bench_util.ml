@@ -88,6 +88,7 @@ type measured = {
   ms : float;
   ccp : int;
   pairs : int;
+  nbh : int;
   cost : float;
   entries : int;
 }
@@ -100,6 +101,7 @@ let measure ?model ?filter algo g =
     ms;
     ccp = result.Core.Optimizer.counters.Core.Counters.ccp_emitted;
     pairs = result.Core.Optimizer.counters.Core.Counters.pairs_considered;
+    nbh = result.Core.Optimizer.counters.Core.Counters.neighborhood_calls;
     cost =
       (match result.Core.Optimizer.plan with
       | Some p -> p.Plans.Plan.cost

@@ -8,6 +8,10 @@
                                               (one Test.make per table/figure)
      dune exec bench/main.exe -- --csv DIR    additionally write each table
                                               as DIR/<experiment>.csv
+     dune exec bench/main.exe -- --json FILE  machine-readable perf suite:
+                                              DPhyp ns/pair figures on the
+                                              hyperedge split families, written
+                                              as JSON (see bench/json_bench.ml)
 
    Experiment names: table1 fig5a fig5b table2 fig6a fig6b fig7 fig8a
    fig8b ccp xchain xclique xgen xgoo xtopdown xtpch xmem xcdc xqual
@@ -135,11 +139,18 @@ let () =
     | [] -> None
   in
   Bench_util.csv_dir := csv args;
+  let rec json = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> json rest
+    | [] -> None
+  in
   let rec positional = function
-    | "--csv" :: _ :: rest -> positional rest
+    | "--csv" :: _ :: rest | "--json" :: _ :: rest -> positional rest
     | a :: rest when String.length a > 0 && a.[0] <> '-' -> a :: positional rest
     | _ :: rest -> positional rest
     | [] -> []
   in
   let names = positional args in
-  if bechamel then run_bechamel () else run_experiments ~quick names
+  match json args with
+  | Some path -> Json_bench.run ~quick ~path names
+  | None -> if bechamel then run_bechamel () else run_experiments ~quick names

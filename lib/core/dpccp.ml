@@ -13,8 +13,7 @@ type ctx = {
 let neighborhood c s x =
   c.counters.Counters.neighborhood_calls <-
     c.counters.Counters.neighborhood_calls + 1;
-  let nb = Ns.fold (fun v acc -> Ns.union acc (G.simple_neighbors c.g v)) s Ns.empty in
-  Ns.diff nb (Ns.union s x)
+  Ns.diff (G.simple_neighborhood c.g s) (Ns.union s x)
 
 let connected c s1 s2 =
   Ns.exists (fun v -> Ns.intersects (G.simple_neighbors c.g v) s2) s1

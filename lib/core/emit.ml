@@ -45,21 +45,24 @@ let resolve g (p1 : Plans.Plan.t) (p2 : Plans.Plan.t) =
   | [] -> None
   | connecting -> (
       let both = Ns.union p1.set p2.set in
-      let already = Bs.union p1.applied p2.applied in
       let is_connecting (e : He.t) =
         List.exists (fun ((c : He.t), _) -> c.id = e.id) connecting
       in
-      let pending =
-        Array.fold_left
-          (fun acc (e : He.t) ->
-            if
-              (not (Bs.mem e.id already))
-              && (not (is_connecting e))
-              && Ns.subset (He.covers e) both
-            then e :: acc
-            else acc)
-          [] (G.edges g)
-      in
+      (* Cheapest rejection first: the precomputed cover mask filters
+         out every edge not fully assembled by this join before any
+         bitset or list work happens. *)
+      let pending = ref [] in
+      for i = 0 to G.num_edges g - 1 do
+        if
+          Ns.subset (G.edge_cover g i) both
+          && (not (Bs.mem i p1.applied))
+          && (not (Bs.mem i p2.applied))
+        then begin
+          let e = G.edge g i in
+          if not (is_connecting e) then pending := e :: !pending
+        end
+      done;
+      let pending = !pending in
       if
         List.exists
           (fun (e : He.t) -> e.op.Relalg.Operator.kind <> Relalg.Operator.Inner)

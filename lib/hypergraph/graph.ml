@@ -4,13 +4,58 @@ type rel = { name : string; card : float; free : Ns.t }
 
 let base_rel ?(free = Ns.empty) ?(card = 1000.0) name = { name; card; free }
 
+(* Beyond the relations and edges themselves, [t] carries the indexes
+   that keep the enumeration hot path proportional to the number of
+   edges *incident to S* rather than to the number of edges in the
+   whole query, plus a scratch arena reused across calls so candidate
+   generation does not allocate (see doc/algorithm.mld, "Complexity &
+   engineering").
+
+   The arena makes the accessors non-reentrant: they must not be
+   called from inside a callback of another accessor on the same
+   graph, and a [t] must not be shared between domains.  Every
+   accessor fully consumes the arena before returning, so ordinary
+   sequential use — including the mutually recursive enumeration in
+   lib/core — is safe. *)
 type t = {
   n : int;
   relations : rel array;
   edges : Hyperedge.t array;
   simple_nb : Ns.t array;  (* per node: union of simple-edge neighbors *)
   complex : Hyperedge.t list;  (* non-simple edges, id order *)
+  complex_arr : Hyperedge.t array;  (* same edges as [complex] *)
+  complex_by_node : int array array;
+      (* per node: indexes into [complex_arr] of the complex edges
+         whose cover contains the node, ascending *)
+  edges_by_node : int array array;
+      (* per node: ids of all edges whose cover contains it, ascending *)
+  edge_covers : Ns.t array;  (* per edge id: u ∪ v ∪ w *)
+  complex_union : Ns.t;  (* union of all complex-edge covers *)
+  free_arr : Ns.t array;  (* per node: the relation's free set *)
+  free_union : Ns.t;  (* union of all free sets; usually empty *)
+  (* scratch arena (see the non-reentrancy note above) *)
+  cand : Ns.t array;  (* candidate hypernodes, generation order *)
+  cand_card : int array;  (* cardinality of cand.(i) *)
+  cand_order : int array;  (* permutation of [0, cand_len) by cardinality *)
+  cand_keep : bool array;  (* survives E♮ minimization? *)
+  mutable cand_len : int;
+  edge_buf : int array;  (* gathered incident edge indexes / ids *)
+  edge_stamp : int array;  (* per edge slot: stamp of last gather *)
+  mutable stamp : int;
 }
+
+(* In-place ascending sort; the gathered incidence lists are short, so
+   insertion sort beats anything with setup cost. *)
+let insertion_sort (a : int array) len =
+  for i = 1 to len - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
 
 let make relations edges =
   let n = Array.length relations in
@@ -39,7 +84,67 @@ let make relations edges =
       end
       else complex := e :: !complex)
     edges;
-  { n; relations; edges; simple_nb; complex = List.rev !complex }
+  let complex = List.rev !complex in
+  let complex_arr = Array.of_list complex in
+  let nc = Array.length complex_arr in
+  let m = Array.length edges in
+  let edge_covers = Array.map Hyperedge.covers edges in
+  let complex_union =
+    Array.fold_left
+      (fun acc (e : Hyperedge.t) -> Ns.union acc edge_covers.(e.id))
+      Ns.empty complex_arr
+  in
+  (* Per-node incidence lists; filling in id order keeps them sorted. *)
+  let count_c = Array.make n 0 and count_e = Array.make n 0 in
+  Array.iter
+    (fun (e : Hyperedge.t) ->
+      Ns.iter (fun v -> count_c.(v) <- count_c.(v) + 1) edge_covers.(e.id))
+    complex_arr;
+  Array.iter
+    (fun cover -> Ns.iter (fun v -> count_e.(v) <- count_e.(v) + 1) cover)
+    edge_covers;
+  let complex_by_node = Array.init n (fun v -> Array.make count_c.(v) 0) in
+  let edges_by_node = Array.init n (fun v -> Array.make count_e.(v) 0) in
+  let fill_c = Array.make n 0 and fill_e = Array.make n 0 in
+  Array.iteri
+    (fun k (e : Hyperedge.t) ->
+      Ns.iter
+        (fun v ->
+          complex_by_node.(v).(fill_c.(v)) <- k;
+          fill_c.(v) <- fill_c.(v) + 1)
+        edge_covers.(e.id))
+    complex_arr;
+  Array.iteri
+    (fun i cover ->
+      Ns.iter
+        (fun v ->
+          edges_by_node.(v).(fill_e.(v)) <- i;
+          fill_e.(v) <- fill_e.(v) + 1)
+        cover)
+    edge_covers;
+  {
+    n;
+    relations;
+    edges;
+    simple_nb;
+    complex;
+    complex_arr;
+    complex_by_node;
+    edges_by_node;
+    edge_covers;
+    complex_union;
+    free_arr = Array.map (fun r -> r.free) relations;
+    free_union =
+      Array.fold_left (fun acc r -> Ns.union acc r.free) Ns.empty relations;
+    cand = Array.make (max 1 (2 * nc)) Ns.empty;
+    cand_card = Array.make (max 1 (2 * nc)) 0;
+    cand_order = Array.make (max 1 (2 * nc)) 0;
+    cand_keep = Array.make (max 1 (2 * nc)) false;
+    cand_len = 0;
+    edge_buf = Array.make (max 1 m) 0;
+    edge_stamp = Array.make (max 1 m) 0;
+    stamp = 0;
+  }
 
 let num_nodes g = g.n
 
@@ -49,7 +154,11 @@ let relation g i = g.relations.(i)
 
 let cardinality g i = g.relations.(i).card
 
-let free_of g s = Ns.fold (fun i acc -> Ns.union g.relations.(i).free acc) s Ns.empty
+(* Most queries have no table-valued functions at all, so the common
+   case is a single emptiness test. *)
+let free_of g s =
+  if Ns.is_empty g.free_union then Ns.empty
+  else Ns.union_over_array g.free_arr s
 
 let edges g = g.edges
 
@@ -57,100 +166,205 @@ let num_edges g = Array.length g.edges
 
 let edge g i = g.edges.(i)
 
+let edge_cover g i = g.edge_covers.(i)
+
 let simple_neighbors g i = g.simple_nb.(i)
+
+let simple_neighborhood g s = Ns.union_over_array g.simple_nb s
 
 let complex_edges g = g.complex
 
-(* E♮0(S, X): candidate hypernodes reachable from S, disjoint from S
-   and X.  Generalized edges contribute v ∪ (w \ S) when u ⊆ S (and
-   symmetrically); the w-part outside S must travel with the opposite
-   side (Section 6). *)
-let candidate_hypernodes g s x =
-  let sx = Ns.union s x in
-  let cands = ref [] in
-  let consider side_in side_out w =
-    if Ns.subset side_in s then begin
-      let cand = Ns.union side_out (Ns.diff w s) in
-      if (not (Ns.is_empty cand)) && Ns.disjoint cand sx then
-        cands := cand :: !cands
-    end
-  in
-  List.iter
-    (fun (e : Hyperedge.t) ->
-      consider e.u e.v e.w;
-      consider e.v e.u e.w)
-    g.complex;
-  !cands
+(* ---- indexed candidate generation --------------------------------- *)
 
-(* Minimization step E♮0 → E♮: drop any candidate that is a strict
-   superset of another candidate or contains a simple-edge neighbor
-   (simple neighbors are singleton hypernodes, hence minimal). *)
+(* Gather into [g.edge_buf], deduplicated via stamps and restored to
+   ascending order, the [complex_arr] indexes of the complex edges
+   incident to [s].  Returns the count. *)
+let gather_incident_complex g s =
+  g.stamp <- g.stamp + 1;
+  let st = g.stamp in
+  let cnt = ref 0 in
+  let rem = ref s in
+  while not (Ns.is_empty !rem) do
+    let lst = g.complex_by_node.(Ns.min_elt !rem) in
+    for i = 0 to Array.length lst - 1 do
+      let k = lst.(i) in
+      if g.edge_stamp.(k) <> st then begin
+        g.edge_stamp.(k) <- st;
+        g.edge_buf.(!cnt) <- k;
+        incr cnt
+      end
+    done;
+    rem := Ns.without_min !rem
+  done;
+  insertion_sort g.edge_buf !cnt;
+  !cnt
+
+(* E♮0(S, X) into the arena: candidate hypernodes reachable from S,
+   disjoint from S and X.  Generalized edges contribute v ∪ (w \ S)
+   when u ⊆ S (and symmetrically); the w-part outside S must travel
+   with the opposite side (Section 6).  Generation order — ascending
+   edge id, u-side before v-side — matches what a scan of all complex
+   edges in id order produces. *)
+let collect_candidates g s x =
+  let sx = Ns.union s x in
+  let nb = gather_incident_complex g s in
+  g.cand_len <- 0;
+  for i = 0 to nb - 1 do
+    let e = g.complex_arr.(g.edge_buf.(i)) in
+    let w_out = Ns.diff e.w s in
+    if Ns.subset e.u s then begin
+      let cand = Ns.union e.v w_out in
+      if (not (Ns.is_empty cand)) && Ns.disjoint cand sx then begin
+        g.cand.(g.cand_len) <- cand;
+        g.cand_len <- g.cand_len + 1
+      end
+    end;
+    if Ns.subset e.v s then begin
+      let cand = Ns.union e.u w_out in
+      if (not (Ns.is_empty cand)) && Ns.disjoint cand sx then begin
+        g.cand.(g.cand_len) <- cand;
+        g.cand_len <- g.cand_len + 1
+      end
+    end
+  done
+
+(* Shared E♮0 → E♮ minimization: a candidate survives iff it avoids
+   every simple neighbor (singleton hypernodes are minimal) and no
+   other candidate is a strict subset of it.  Ranking the arena by
+   cardinality means each candidate is only checked against strictly
+   smaller ones — a strict subset has strictly smaller cardinality —
+   so the sweep stops at the cardinality boundary instead of scanning
+   all pairs.  Fills [g.cand_keep]; duplicates all survive (equal sets
+   subsume nothing strictly), consumers that need a deduplicated list
+   collapse them on output. *)
+let minimize g simple =
+  let k = g.cand_len in
+  for i = 0 to k - 1 do
+    g.cand_order.(i) <- i;
+    g.cand_card.(i) <- Ns.cardinal g.cand.(i)
+  done;
+  for i = 1 to k - 1 do
+    let x = g.cand_order.(i) in
+    let cx = g.cand_card.(x) in
+    let j = ref (i - 1) in
+    while !j >= 0 && g.cand_card.(g.cand_order.(!j)) > cx do
+      g.cand_order.(!j + 1) <- g.cand_order.(!j);
+      decr j
+    done;
+    g.cand_order.(!j + 1) <- x
+  done;
+  for oi = 0 to k - 1 do
+    let i = g.cand_order.(oi) in
+    let c = g.cand.(i) in
+    let keep = ref (Ns.disjoint c simple) in
+    let oj = ref 0 in
+    while !keep && !oj < oi do
+      if Ns.strict_subset g.cand.(g.cand_order.(!oj)) c then keep := false;
+      incr oj
+    done;
+    g.cand_keep.(i) <- !keep
+  done
+
+let candidate_hypernodes g s x =
+  collect_candidates g s x;
+  let acc = ref [] in
+  for i = 0 to g.cand_len - 1 do
+    acc := g.cand.(i) :: !acc
+  done;
+  !acc
+
 let eligible_hypernodes g s x =
-  let simple =
-    Ns.fold (fun v acc -> Ns.union g.simple_nb.(v) acc) s Ns.empty
-  in
-  let simple = Ns.diff simple (Ns.union s x) in
-  let cands = candidate_hypernodes g s x in
-  let keep c =
-    Ns.disjoint c simple
-    && not
-         (List.exists
-            (fun c' -> (not (Ns.equal c c')) && Ns.strict_subset c' c)
-            cands)
-  in
-  (* Duplicate candidates subsume each other; keep one copy. *)
-  let rec dedup seen = function
-    | [] -> List.rev seen
-    | c :: rest ->
-        if List.exists (Ns.equal c) seen then dedup seen rest
-        else dedup (c :: seen) rest
-  in
-  Ns.fold (fun v acc -> Ns.singleton v :: acc) simple []
-  |> List.rev_append (List.rev (dedup [] (List.filter keep cands)))
+  let simple = Ns.diff (simple_neighborhood g s) (Ns.union s x) in
+  collect_candidates g s x;
+  minimize g simple;
+  (* Singleton hypernodes from simple neighbors, descending node
+     order; surviving complex candidates in front of them in reverse
+     generation order, duplicates collapsed onto the latest-generated
+     copy — the order the list-based implementation produced. *)
+  let acc = ref (Ns.fold (fun v acc -> Ns.singleton v :: acc) simple []) in
+  for i = 0 to g.cand_len - 1 do
+    if g.cand_keep.(i) then begin
+      let c = g.cand.(i) in
+      let dup = ref false in
+      for j = i + 1 to g.cand_len - 1 do
+        if Ns.equal g.cand.(j) c then dup := true
+      done;
+      if not !dup then acc := c :: !acc
+    end
+  done;
+  !acc
 
 let neighborhood g s x =
-  let simple =
-    Ns.fold (fun v acc -> Ns.union g.simple_nb.(v) acc) s Ns.empty
-  in
-  let simple = Ns.diff simple (Ns.union s x) in
-  let nb = ref simple in
-  if g.complex <> [] then begin
-    let cands = candidate_hypernodes g s x in
-    List.iter
-      (fun c ->
-        (* Subsumption (E♮ minimization): skip c if it contains a
-           simple neighbor (a singleton candidate) or a strict subset
-           among the complex candidates. *)
-        if
-          Ns.disjoint c simple
-          && not
-               (List.exists
-                  (fun c' -> (not (Ns.equal c c')) && Ns.strict_subset c' c)
-                  cands)
-        then nb := Ns.add (Ns.min_elt c) !nb)
-      cands
-  end;
-  !nb
+  let simple = Ns.diff (simple_neighborhood g s) (Ns.union s x) in
+  if Ns.disjoint s g.complex_union then simple
+  else begin
+    collect_candidates g s x;
+    if g.cand_len = 0 then simple
+    else begin
+      minimize g simple;
+      let nb = ref simple in
+      for i = 0 to g.cand_len - 1 do
+        if g.cand_keep.(i) then nb := Ns.add (Ns.min_elt g.cand.(i)) !nb
+      done;
+      !nb
+    end
+  end
 
+exception Found_edge
+
+(* Any edge connecting s1 and s2 covers nodes on both sides, so it is
+   incident to the smaller side — scan only those. *)
 let connects g s1 s2 =
-  let found = ref false in
-  let edges = g.edges in
-  let m = Array.length edges in
-  let i = ref 0 in
-  while (not !found) && !i < m do
-    if Hyperedge.connects edges.(!i) s1 s2 then found := true;
-    incr i
-  done;
-  !found
+  let small, big =
+    if Ns.cardinal s1 <= Ns.cardinal s2 then (s1, s2) else (s2, s1)
+  in
+  try
+    let rem = ref small in
+    while not (Ns.is_empty !rem) do
+      if Ns.intersects g.simple_nb.(Ns.min_elt !rem) big then raise Found_edge;
+      rem := Ns.without_min !rem
+    done;
+    if Ns.intersects g.complex_union small then begin
+      let rem = ref small in
+      while not (Ns.is_empty !rem) do
+        let lst = g.complex_by_node.(Ns.min_elt !rem) in
+        for i = 0 to Array.length lst - 1 do
+          if Hyperedge.connects g.complex_arr.(lst.(i)) s1 s2 then
+            raise Found_edge
+        done;
+        rem := Ns.without_min !rem
+      done
+    end;
+    false
+  with Found_edge -> true
 
 let connecting_edges g s1 s2 =
-  Array.fold_left
-    (fun acc e ->
-      match Hyperedge.orient e s1 s2 with
-      | Some o -> (e, o) :: acc
-      | None -> acc)
-    [] g.edges
-  |> List.rev
+  let small = if Ns.cardinal s1 <= Ns.cardinal s2 then s1 else s2 in
+  g.stamp <- g.stamp + 1;
+  let st = g.stamp in
+  let cnt = ref 0 in
+  let rem = ref small in
+  while not (Ns.is_empty !rem) do
+    let lst = g.edges_by_node.(Ns.min_elt !rem) in
+    for i = 0 to Array.length lst - 1 do
+      let id = lst.(i) in
+      if g.edge_stamp.(id) <> st then begin
+        g.edge_stamp.(id) <- st;
+        g.edge_buf.(!cnt) <- id;
+        incr cnt
+      end
+    done;
+    rem := Ns.without_min !rem
+  done;
+  insertion_sort g.edge_buf !cnt;
+  let acc = ref [] in
+  for i = !cnt - 1 downto 0 do
+    let e = g.edges.(g.edge_buf.(i)) in
+    match Hyperedge.orient e s1 s2 with
+    | Some o -> acc := (e, o) :: !acc
+    | None -> ()
+  done;
+  !acc
 
 let has_hyperedges g = g.complex <> []
 
@@ -158,14 +372,23 @@ let has_hyperedges g = g.complex <> []
    relations it mentions. *)
 let components g =
   let parent = Array.init g.n (fun i -> i) in
-  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  (* find with path halving: each step links the node to its
+     grandparent, flattening the tree as it walks. *)
+  let find i =
+    let i = ref i in
+    while parent.(!i) <> !i do
+      parent.(!i) <- parent.(parent.(!i));
+      i := parent.(!i)
+    done;
+    !i
+  in
   let union a b =
     let ra = find a and rb = find b in
     if ra <> rb then parent.(ra) <- rb
   in
   Array.iter
-    (fun e ->
-      let cover = Hyperedge.covers e in
+    (fun (e : Hyperedge.t) ->
+      let cover = g.edge_covers.(e.id) in
       let root = Ns.min_elt cover in
       Ns.iter (fun v -> union root v) cover)
     g.edges;

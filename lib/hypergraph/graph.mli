@@ -2,9 +2,18 @@
 
     A hypergraph bundles the relations of a query (with cardinalities
     and free-variable sets for dependent evaluation) and its
-    hyperedges.  Construction precomputes, per node, the union of
-    simple-edge neighbors, so that {!neighborhood} touches only the
-    complex edges in its slow path.
+    hyperedges.  Construction precomputes per-node indexes — simple
+    neighbor masks and, for each node, the complex edges and the edges
+    of any kind whose cover contains it — so that {!neighborhood},
+    {!connects} and {!connecting_edges} only examine edges incident to
+    their argument sets, and owns a scratch arena that makes candidate
+    generation allocation-free on the common path.
+
+    Because of that arena the accessors are {b not reentrant}: do not
+    call them from inside a callback of another accessor on the same
+    graph, and do not share a [t] between domains.  Each call fully
+    consumes the arena before returning, so ordinary sequential use is
+    safe.
 
     The node order required by the algorithms is the natural order on
     node indices [0 .. n-1]. *)
@@ -49,9 +58,16 @@ val num_edges : t -> int
 
 val edge : t -> int -> Hyperedge.t
 
+val edge_cover : t -> int -> Nodeset.Node_set.t
+(** Precomputed [u ∪ v ∪ w] of the edge with the given id. *)
+
 val simple_neighbors : t -> int -> Nodeset.Node_set.t
 (** Precomputed union of the opposite endpoints of all simple edges
     incident to a node. *)
+
+val simple_neighborhood : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t
+(** Union of {!simple_neighbors} over the members of a set (not yet
+    excluding the set itself). *)
 
 val complex_edges : t -> Hyperedge.t list
 (** Edges that are not simple, in id order. *)
@@ -63,6 +79,11 @@ val neighborhood : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> Nodeset.Node
     [S] to [v] and [v] is disjoint from both [S] and [X].  Generalized
     edges [(u,v,w)] contribute the dynamic hypernode [v ∪ (w \ S)]
     (Section 6). *)
+
+val candidate_hypernodes :
+  t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> Nodeset.Node_set.t list
+(** The raw candidate set [E♮0(S, X)] before minimization — exposed
+    for tests. *)
 
 val eligible_hypernodes :
   t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> Nodeset.Node_set.t list

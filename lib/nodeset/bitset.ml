@@ -1,7 +1,13 @@
-(* Immutable arbitrary-width bitset over int arrays, 62 bits per word
-   (we avoid the sign bit and keep word arithmetic simple). *)
+(* Immutable arbitrary-width bitset over int arrays, 32 bits per word.
+   A power-of-two word size keeps the index→(word, bit) split a shift
+   and a mask — [mem]/[add] sit on the per-csg-cmp-pair path via the
+   applied-predicate sets, where an integer division is measurable. *)
 
-let bits_per_word = 62
+let bits_per_word = 32
+
+let word_of i = i lsr 5
+
+let bit_of i = i land 31
 
 type t = { width : int; words : int array }
 
@@ -21,26 +27,49 @@ let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
 let mem i t =
   check t i;
-  (t.words.(i / bits_per_word) lsr (i mod bits_per_word)) land 1 = 1
+  (t.words.(word_of i) lsr bit_of i) land 1 = 1
 
 let add i t =
   check t i;
   let words = Array.copy t.words in
-  words.(i / bits_per_word) <-
-    words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word));
+  words.(word_of i) <- words.(word_of i) lor (1 lsl bit_of i);
   { t with words }
+
+let add_all is t =
+  match is with
+  | [] -> t
+  | _ ->
+      let words = Array.copy t.words in
+      List.iter
+        (fun i ->
+          check t i;
+          words.(word_of i) <- words.(word_of i) lor (1 lsl bit_of i))
+        is;
+      { t with words }
+
+let check_same a b =
+  if a.width <> b.width then invalid_arg "Bitset: width mismatch"
+
+let union_add_all is a b =
+  check_same a b;
+  let words = Array.make (Array.length a.words) 0 in
+  for k = 0 to Array.length words - 1 do
+    words.(k) <- a.words.(k) lor b.words.(k)
+  done;
+  List.iter
+    (fun i ->
+      check a i;
+      words.(word_of i) <- words.(word_of i) lor (1 lsl bit_of i))
+    is;
+  { a with words }
 
 let remove i t =
   check t i;
   let words = Array.copy t.words in
-  words.(i / bits_per_word) <-
-    words.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word));
+  words.(word_of i) <- words.(word_of i) land lnot (1 lsl bit_of i);
   { t with words }
 
 let singleton width i = add i (create width)
-
-let check_same a b =
-  if a.width <> b.width then invalid_arg "Bitset: width mismatch"
 
 let map2 op a b =
   check_same a b;
@@ -86,8 +115,7 @@ let full w =
   let t = create w in
   let words = t.words in
   for i = 0 to w - 1 do
-    words.(i / bits_per_word) <-
-      words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+    words.(word_of i) <- words.(word_of i) lor (1 lsl bit_of i)
   done;
   { t with words }
 

@@ -22,6 +22,10 @@ val mem : int -> t -> bool
 
 val add : int -> t -> t
 
+val add_all : int list -> t -> t
+(** [add_all is t] adds every index in [is] with a single copy of the
+    backing array (folding {!add} copies once per element). *)
+
 val remove : int -> t -> t
 
 val singleton : int -> int -> t
@@ -29,6 +33,11 @@ val singleton : int -> int -> t
 
 val union : t -> t -> t
 (** @raise Invalid_argument on width mismatch. *)
+
+val union_add_all : int list -> t -> t -> t
+(** [union_add_all is a b] is [add_all is (union a b)] with a single
+    array allocation — the applied-predicate update every plan join
+    performs. *)
 
 val inter : t -> t -> t
 

@@ -138,6 +138,19 @@ let fold f s acc =
   iter (fun v -> acc := f v !acc) s;
   !acc
 
+(* Union of per-node table entries over the members of [s].  This is
+   the inner loop of neighborhood computation (per-node simple
+   neighbors, incident-edge covers), written without closures so the
+   common path allocates nothing. *)
+let union_over_array (arr : t array) s =
+  let acc = ref 0 in
+  let s = ref s in
+  while !s <> 0 do
+    acc := !acc lor arr.(ntz !s);
+    s := !s land (!s - 1)
+  done;
+  !acc
+
 let to_list s = List.rev (fold (fun v l -> v :: l) s [])
 
 let for_all p s =

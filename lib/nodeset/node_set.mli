@@ -113,6 +113,10 @@ val iter_desc : (node -> unit) -> t -> unit
 val fold : (node -> 'a -> 'a) -> t -> 'a -> 'a
 (** Fold over members in increasing order. *)
 
+val union_over_array : t array -> t -> t
+(** [union_over_array arr s] is [⋃ {arr.(v) | v ∈ s}], allocation-free.
+    [arr] must be indexed by node and cover every member of [s]. *)
+
 val for_all : (node -> bool) -> t -> bool
 
 val exists : (node -> bool) -> t -> bool

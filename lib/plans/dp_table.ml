@@ -1,16 +1,39 @@
 module Ns = Nodeset.Node_set
 
+(* Two backings behind one interface.  For small queries the table is
+   a flat array indexed directly by the bit pattern of the node set,
+   so [find]/[mem]/[update] — executed once or more per considered
+   csg-cmp-pair — are single array probes with no hashing.  Beyond
+   [flat_max_nodes] it falls back to the hash table: 2^18 option slots
+   cost ~2 MB and fill in microseconds at [create] time, while 2^n
+   beyond that starts to rival the enumeration itself. *)
+
+let flat_max_nodes = 18
+
+type store = Flat of Plan.t option array | Hashed of (int, Plan.t) Hashtbl.t
+
 type t = {
-  tbl : (int, Plan.t) Hashtbl.t;
+  store : store;
+  mutable entries : int;
   by_size : Ns.t list array;  (* index [k]: sets of cardinality k, insertion order *)
 }
 
 let create n =
-  { tbl = Hashtbl.create 1024; by_size = Array.make (n + 1) [] }
+  let store =
+    if n <= flat_max_nodes then Flat (Array.make (1 lsl n) None)
+    else Hashed (Hashtbl.create 1024)
+  in
+  { store; entries = 0; by_size = Array.make (n + 1) [] }
 
-let find t s = Hashtbl.find_opt t.tbl (Ns.to_int s)
+let find t s =
+  match t.store with
+  | Flat a -> a.(Ns.to_int s)
+  | Hashed h -> Hashtbl.find_opt h (Ns.to_int s)
 
-let mem t s = Hashtbl.mem t.tbl (Ns.to_int s)
+let mem t s =
+  match t.store with
+  | Flat a -> ( match a.(Ns.to_int s) with None -> false | Some _ -> true)
+  | Hashed h -> Hashtbl.mem h (Ns.to_int s)
 
 let register_size t s =
   let k = Ns.cardinal s in
@@ -18,26 +41,57 @@ let register_size t s =
 
 let update t (p : Plan.t) =
   let key = Ns.to_int p.set in
-  match Hashtbl.find_opt t.tbl key with
-  | None ->
-      Hashtbl.replace t.tbl key p;
-      register_size t p.set;
-      true
-  | Some old ->
-      if p.cost < old.cost then begin
-        Hashtbl.replace t.tbl key p;
-        true
-      end
-      else false
+  match t.store with
+  | Flat a -> (
+      match a.(key) with
+      | None ->
+          a.(key) <- Some p;
+          t.entries <- t.entries + 1;
+          register_size t p.set;
+          true
+      | Some old ->
+          if p.cost < old.cost then begin
+            a.(key) <- Some p;
+            true
+          end
+          else false)
+  | Hashed h -> (
+      match Hashtbl.find_opt h key with
+      | None ->
+          Hashtbl.replace h key p;
+          t.entries <- t.entries + 1;
+          register_size t p.set;
+          true
+      | Some old ->
+          if p.cost < old.cost then begin
+            Hashtbl.replace h key p;
+            true
+          end
+          else false)
 
 let force t (p : Plan.t) =
   let key = Ns.to_int p.set in
-  if not (Hashtbl.mem t.tbl key) then register_size t p.set;
-  Hashtbl.replace t.tbl key p
+  match t.store with
+  | Flat a ->
+      (match a.(key) with
+      | None ->
+          t.entries <- t.entries + 1;
+          register_size t p.set
+      | Some _ -> ());
+      a.(key) <- Some p
+  | Hashed h ->
+      if not (Hashtbl.mem h key) then begin
+        t.entries <- t.entries + 1;
+        register_size t p.set
+      end;
+      Hashtbl.replace h key p
 
-let size t = Hashtbl.length t.tbl
+let size t = t.entries
 
-let iter f t = Hashtbl.iter (fun _ p -> f p) t.tbl
+let iter f t =
+  match t.store with
+  | Flat a -> Array.iter (function None -> () | Some p -> f p) a
+  | Hashed h -> Hashtbl.iter (fun _ p -> f p) h
 
 let sets_of_size t k = if k < Array.length t.by_size then t.by_size.(k) else []
 

@@ -5,7 +5,12 @@
     dpTable"), exploiting that DP enumerates subsets before supersets.
     Section 3.6 notes all DP variants memoize the same entries; DPsize
     additionally needs plans bucketed by size, which {!iter_size}
-    provides via per-size index lists. *)
+    provides via per-size index lists.
+
+    For queries of up to 18 relations the table is backed by a flat
+    array indexed directly by the bit pattern of the node set, so the
+    per-pair lookups are single array probes; larger queries fall back
+    to a hash table.  The switchover is invisible to callers. *)
 
 type t
 

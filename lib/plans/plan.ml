@@ -30,11 +30,7 @@ let join (model : Costing.Cost_model.t) ~op ~edge_ids ~sel left right =
     +. model.op_cost op ~left_card:left.card ~right_card:right.card
          ~out_card:card
   in
-  let applied =
-    List.fold_left (fun b id -> Bs.add id b)
-      (Bs.union left.applied right.applied)
-      edge_ids
-  in
+  let applied = Bs.union_add_all edge_ids left.applied right.applied in
   {
     set = Ns.union left.set right.set;
     card;

@@ -520,6 +520,120 @@ let prop_random_emission =
       canon (Core.Dphyp.enumerate_ccps g)
       = canon (Hypergraph.Csg_enum.csg_cmp_pairs g))
 
+(* ---------- indexed enumeration vs. naive reference ---------- *)
+
+(* A reference DPhyp enumerator: the same five member functions as
+   Core.Dphyp, but driven by naive all-edges re-implementations of
+   neighborhood and connects, and by a plain set table instead of the
+   DP table (valid on inner-join-only graphs, where every emitted pair
+   installs an entry).  The indexed fast paths change complexity, not
+   semantics, so the emission traces must be identical element for
+   element — the "before/after" guarantee of the hot-path overhaul. *)
+let reference_trace g =
+  let module Se = Nodeset.Subset_enum in
+  let naive_neighborhood s x =
+    let simple =
+      Ns.fold (fun v acc -> Ns.union (G.simple_neighbors g v) acc) s Ns.empty
+    in
+    let simple = Ns.diff simple (Ns.union s x) in
+    let sx = Ns.union s x in
+    let cands = ref [] in
+    let consider side_in side_out w =
+      if Ns.subset side_in s then begin
+        let cand = Ns.union side_out (Ns.diff w s) in
+        if (not (Ns.is_empty cand)) && Ns.disjoint cand sx then
+          cands := cand :: !cands
+      end
+    in
+    List.iter
+      (fun (e : He.t) ->
+        consider e.u e.v e.w;
+        consider e.v e.u e.w)
+      (G.complex_edges g);
+    let nb = ref simple in
+    List.iter
+      (fun c ->
+        if
+          Ns.disjoint c simple
+          && not
+               (List.exists
+                  (fun c' -> (not (Ns.equal c c')) && Ns.strict_subset c' c)
+                  !cands)
+        then nb := Ns.add (Ns.min_elt c) !nb)
+      !cands;
+    !nb
+  in
+  let connects s1 s2 = Array.exists (fun e -> He.connects e s1 s2) (G.edges g) in
+  let tbl = Hashtbl.create 256 in
+  let mem s = Hashtbl.mem tbl (Ns.to_int s) in
+  let trace = ref [] in
+  let emit s1 s2 =
+    trace := (s1, s2) :: !trace;
+    Hashtbl.replace tbl (Ns.to_int (Ns.union s1 s2)) ()
+  in
+  let rec enumerate_cmp_rec s1 s2 x =
+    let nb = naive_neighborhood s2 x in
+    if not (Ns.is_empty nb) then begin
+      Se.iter_nonempty nb (fun sub ->
+          let s2' = Ns.union s2 sub in
+          if mem s2' && connects s1 s2' then emit s1 s2');
+      let x' = Ns.union x nb in
+      Se.iter_nonempty nb (fun sub -> enumerate_cmp_rec s1 (Ns.union s2 sub) x')
+    end
+  in
+  let emit_csg s1 =
+    let x = Ns.union s1 (Ns.upto (Ns.min_elt s1)) in
+    let nb = naive_neighborhood s1 x in
+    Ns.iter_desc
+      (fun v ->
+        let s2 = Ns.singleton v in
+        if connects s1 s2 then emit s1 s2;
+        enumerate_cmp_rec s1 s2 (Ns.union x (Ns.inter nb (Ns.upto v))))
+      nb
+  in
+  let rec enumerate_csg_rec s1 x =
+    let nb = naive_neighborhood s1 x in
+    if not (Ns.is_empty nb) then begin
+      Se.iter_nonempty nb (fun sub ->
+          let s1' = Ns.union s1 sub in
+          if mem s1' then emit_csg s1');
+      let x' = Ns.union x nb in
+      Se.iter_nonempty nb (fun sub -> enumerate_csg_rec (Ns.union s1 sub) x')
+    end
+  in
+  let n = G.num_nodes g in
+  for v = 0 to n - 1 do
+    Hashtbl.replace tbl (Ns.to_int (Ns.singleton v)) ()
+  done;
+  for v = n - 1 downto 0 do
+    let s = Ns.singleton v in
+    emit_csg s;
+    enumerate_csg_rec s (Ns.upto v)
+  done;
+  List.rev !trace
+
+let test_trace_matches_reference () =
+  let raw pairs = List.map (fun (a, b) -> (Ns.to_int a, Ns.to_int b)) pairs in
+  let cases =
+    List.mapi
+      (fun i g -> (Printf.sprintf "cycle8 split %d" i, g))
+      (Workloads.Splits.cycle_based 8)
+    @ List.mapi
+        (fun i g -> (Printf.sprintf "star8 split %d" i, g))
+        (Workloads.Splits.star_based 8)
+    @ [
+        ("chain7", Workloads.Shapes.chain 7);
+        ("clique5", Workloads.Shapes.clique 5);
+      ]
+  in
+  List.iter
+    (fun (name, g) ->
+      Alcotest.(check (list (pair int int)))
+        name
+        (raw (reference_trace g))
+        (raw (Core.Dphyp.enumerate_ccps g)))
+    cases
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "core"
@@ -539,7 +653,11 @@ let () =
             test_dpccp_rejects_hypergraphs;
         ] );
       ( "golden",
-        [ Alcotest.test_case "figure 3 trace" `Quick test_fig3_trace_golden ] );
+        [
+          Alcotest.test_case "figure 3 trace" `Quick test_fig3_trace_golden;
+          Alcotest.test_case "trace = naive reference on split families"
+            `Quick test_trace_matches_reference;
+        ] );
       ( "counters",
         [
           Alcotest.test_case "dphyp tight" `Quick test_counters_dphyp_tight;

@@ -296,6 +296,178 @@ let test_counts_fig2 () =
      (Figure 3 trace) *)
   check_int "fig2 ccp" 9 (Csg.count_csg_cmp_pairs (fig2 ()))
 
+(* ---------- indexed fast paths vs. naive references ---------- *)
+
+(* Verbatim re-implementations of the pre-index versions of candidate
+   generation, E♮ minimization, connects and connecting_edges: scan
+   every edge, list-based subsumption.  The qcheck properties below
+   assert the indexed, arena-based implementations in Graph agree with
+   them exactly on random hypergraphs mixing simple, complex and
+   generalized w-edges. *)
+
+let naive_candidates g s x =
+  let sx = Ns.union s x in
+  let cands = ref [] in
+  let consider side_in side_out w =
+    if Ns.subset side_in s then begin
+      let cand = Ns.union side_out (Ns.diff w s) in
+      if (not (Ns.is_empty cand)) && Ns.disjoint cand sx then
+        cands := cand :: !cands
+    end
+  in
+  List.iter
+    (fun (e : He.t) ->
+      consider e.u e.v e.w;
+      consider e.v e.u e.w)
+    (G.complex_edges g);
+  !cands
+
+let naive_simple g s x =
+  let simple =
+    Ns.fold (fun v acc -> Ns.union (G.simple_neighbors g v) acc) s Ns.empty
+  in
+  Ns.diff simple (Ns.union s x)
+
+let naive_keep cands simple c =
+  Ns.disjoint c simple
+  && not
+       (List.exists
+          (fun c' -> (not (Ns.equal c c')) && Ns.strict_subset c' c)
+          cands)
+
+let naive_eligible g s x =
+  let simple = naive_simple g s x in
+  let cands = naive_candidates g s x in
+  let rec dedup seen = function
+    | [] -> List.rev seen
+    | c :: rest ->
+        if List.exists (Ns.equal c) seen then dedup seen rest
+        else dedup (c :: seen) rest
+  in
+  Ns.fold (fun v acc -> Ns.singleton v :: acc) simple []
+  |> List.rev_append
+       (List.rev (dedup [] (List.filter (naive_keep cands simple) cands)))
+
+let naive_neighborhood g s x =
+  let simple = naive_simple g s x in
+  let cands = naive_candidates g s x in
+  let nb = ref simple in
+  List.iter
+    (fun c -> if naive_keep cands simple c then nb := Ns.add (Ns.min_elt c) !nb)
+    cands;
+  !nb
+
+let naive_connects g s1 s2 =
+  Array.exists (fun e -> He.connects e s1 s2) (G.edges g)
+
+let naive_connecting_edges g s1 s2 =
+  Array.fold_left
+    (fun acc e ->
+      match He.orient e s1 s2 with Some o -> (e, o) :: acc | None -> acc)
+    [] (G.edges g)
+  |> List.rev
+
+(* Random hypergraphs: a (partial) spine of simple edges plus a few
+   complex and generalized edges, 3–10 nodes. *)
+let random_hypergraph rng =
+  let module R = Random.State in
+  let n = 3 + R.int rng 8 in
+  let rand_subset ?(avoid = Ns.empty) max_card =
+    let s = ref Ns.empty in
+    for _ = 1 to 1 + R.int rng max_card do
+      let v = R.int rng n in
+      if not (Ns.mem v avoid) then s := Ns.add v !s
+    done;
+    !s
+  in
+  let edges = ref [] in
+  let nid = ref 0 in
+  let push mk =
+    edges := mk ~id:!nid :: !edges;
+    incr nid
+  in
+  for i = 0 to n - 2 do
+    if R.int rng 4 > 0 then push (fun ~id -> He.simple ~id i (i + 1))
+  done;
+  for _ = 1 to 1 + R.int rng 4 do
+    let u = rand_subset 3 in
+    let v = rand_subset ~avoid:u 3 in
+    let w =
+      if R.bool rng then rand_subset ~avoid:(Ns.union u v) 2 else Ns.empty
+    in
+    if (not (Ns.is_empty u)) && not (Ns.is_empty v) then
+      push (fun ~id -> He.make ~id ~w u v)
+  done;
+  if !edges = [] then push (fun ~id -> He.simple ~id 0 1);
+  G.make
+    (Array.init n (fun i -> G.base_rel (Printf.sprintf "T%d" i)))
+    (Array.of_list (List.rev !edges))
+
+let random_set rng n =
+  let s = ref Ns.empty in
+  for v = 0 to n - 1 do
+    if Random.State.bool rng then s := Ns.add v !s
+  done;
+  !s
+
+let prop_neighborhood_agrees =
+  QCheck.Test.make ~name:"indexed neighborhood/eligible = naive" ~count:500
+    QCheck.small_nat (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let g = random_hypergraph rng in
+      let n = G.num_nodes g in
+      let s = random_set rng n in
+      let s = if Ns.is_empty s then Ns.singleton (Random.State.int rng n) else s in
+      let x = random_set rng n in
+      Ns.equal (G.neighborhood g s x) (naive_neighborhood g s x)
+      && List.equal Ns.equal (G.candidate_hypernodes g s x)
+           (naive_candidates g s x)
+      && List.equal Ns.equal (G.eligible_hypernodes g s x)
+           (naive_eligible g s x))
+
+let prop_connects_agrees =
+  QCheck.Test.make ~name:"indexed connects/connecting_edges = naive"
+    ~count:500 QCheck.small_nat (fun seed ->
+      let rng = Random.State.make [| seed + 1_000_000 |] in
+      let g = random_hypergraph rng in
+      let n = G.num_nodes g in
+      let s1 = random_set rng n in
+      let s1 =
+        if Ns.is_empty s1 then Ns.singleton (Random.State.int rng n) else s1
+      in
+      let s2 = Ns.diff (random_set rng n) s1 in
+      let s2 =
+        if Ns.is_empty s2 then Ns.diff (G.all_nodes g) s1 else s2
+      in
+      if Ns.is_empty s2 then true (* s1 = all nodes: nothing to test *)
+      else
+        let same_edges =
+          List.equal
+            (fun ((e1 : He.t), o1) ((e2 : He.t), o2) ->
+              e1.He.id = e2.He.id && o1 = o2)
+            (G.connecting_edges g s1 s2)
+            (naive_connecting_edges g s1 s2)
+        in
+        G.connects g s1 s2 = naive_connects g s1 s2 && same_edges)
+
+let test_components_long_chain () =
+  (* 40 isolated relations glue into a chain of 39 cross-product
+     edges; re-running components on the glued graph walks that long
+     union chain through the path-halving find *)
+  let n = 40 in
+  let g =
+    G.make (Array.init n (fun i -> G.base_rel (Printf.sprintf "T%d" i))) [||]
+  in
+  check_int "n isolated components" n (List.length (G.components g));
+  let g' = G.ensure_connected g in
+  check_int "glued to one component" 1 (List.length (G.components g'));
+  check_int "n-1 glue edges" (n - 1) (G.num_edges g');
+  (* a maximal-length simple chain for good measure *)
+  let chain = Workloads.Shapes.chain 60 in
+  (match G.components chain with
+  | [ c ] -> check_int "chain component covers all" 60 (Ns.cardinal c)
+  | l -> Alcotest.failf "expected one component, got %d" (List.length l))
+
 (* ---------- serialization ---------- *)
 
 let graphs_equal g1 g2 =
@@ -415,6 +587,13 @@ let () =
             test_connectivity_paper_subtlety;
           Alcotest.test_case "chain" `Quick test_connectivity_chain;
           Alcotest.test_case "overapprox" `Quick test_reachable_overapprox;
+        ] );
+      ( "indexed-vs-naive",
+        [
+          QCheck_alcotest.to_alcotest prop_neighborhood_agrees;
+          QCheck_alcotest.to_alcotest prop_connects_agrees;
+          Alcotest.test_case "long glue-component chain" `Quick
+            test_components_long_chain;
         ] );
       ( "csg_enum",
         [

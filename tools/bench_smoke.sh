@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Smoke test for the benchmark machinery: build the driver, run two
+# small experiments in quick mode, and exercise the machine-readable
+# JSON path (--json), failing on crash or malformed output.
+# `dune build @bench-smoke` runs the same checks through dune; the
+# alias is wired into @runtest so the perf tooling cannot silently rot.
+set -eu
+cd "$(dirname "$0")/.."
+dune build bench/main.exe
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT INT TERM
+dune exec bench/main.exe -- --quick table1 table2
+dune exec bench/main.exe -- --quick --json "$out/bench_smoke.json" \
+  table2_star4 fig6a_star8
+grep -q '"schema": "bench_dphyp/v1"' "$out/bench_smoke.json"
+grep -q '"summary"' "$out/bench_smoke.json"
+echo "bench smoke OK"
