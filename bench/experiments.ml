@@ -518,6 +518,10 @@ let xspace ~quick:_ () =
   in
   print_table ~columns:[ "graph"; "#csg"; "#ccp"; "#join trees" ] ~rows
 
+(* X11: the budgeted adaptive ladder (full implementation in
+   bench/adaptive_bench.ml, shared with the --adaptive-json writer) *)
+let xadaptive ~quick () = Adaptive_bench.table ~quick ()
+
 let all_experiments =
   [
     ("table1", table1);
@@ -540,4 +544,5 @@ let all_experiments =
     ("xcdc", xcdc);
     ("xqual", xqual);
     ("xspace", xspace);
+    ("xadaptive", xadaptive);
   ]

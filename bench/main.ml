@@ -12,10 +12,14 @@
                                               DPhyp ns/pair figures on the
                                               hyperedge split families, written
                                               as JSON (see bench/json_bench.ml)
+     dune exec bench/main.exe -- --adaptive-json FILE
+                                              budgeted adaptive ladder points
+                                              (tier, time, budget spent), as
+                                              JSON (see bench/adaptive_bench.ml)
 
    Experiment names: table1 fig5a fig5b table2 fig6a fig6b fig7 fig8a
    fig8b ccp xchain xclique xgen xgoo xtopdown xtpch xmem xcdc xqual
-   xspace. *)
+   xspace xadaptive. *)
 
 let run_experiments ~quick names =
   let todo =
@@ -144,13 +148,22 @@ let () =
     | _ :: rest -> json rest
     | [] -> None
   in
+  let rec adaptive_json = function
+    | "--adaptive-json" :: path :: _ -> Some path
+    | _ :: rest -> adaptive_json rest
+    | [] -> None
+  in
   let rec positional = function
-    | "--csv" :: _ :: rest | "--json" :: _ :: rest -> positional rest
+    | "--csv" :: _ :: rest | "--json" :: _ :: rest
+    | "--adaptive-json" :: _ :: rest ->
+        positional rest
     | a :: rest when String.length a > 0 && a.[0] <> '-' -> a :: positional rest
     | _ :: rest -> positional rest
     | [] -> []
   in
   let names = positional args in
-  match json args with
-  | Some path -> Json_bench.run ~quick ~path names
-  | None -> if bechamel then run_bechamel () else run_experiments ~quick names
+  match (json args, adaptive_json args) with
+  | Some path, _ -> Json_bench.run ~quick ~path names
+  | None, Some path -> Adaptive_bench.write_json ~quick ~path ()
+  | None, None ->
+      if bechamel then run_bechamel () else run_experiments ~quick names

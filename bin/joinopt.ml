@@ -23,8 +23,23 @@ let algo_conv =
   Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Core.Optimizer.name a))
 
 let algo_arg =
-  let doc = "Algorithm: dphyp, dpsize, dpsub, dpccp, goo, topdown or tdpart." in
+  let doc =
+    "Algorithm: dphyp, dpsize, dpsub, dpccp, goo, topdown, tdpart, idp or \
+     adaptive."
+  in
   Arg.(value & opt algo_conv Core.Optimizer.Dphyp & info [ "a"; "algo" ] ~doc)
+
+let budget_arg =
+  let doc =
+    "Work budget in considered pairs.  With --algo adaptive the optimizer \
+     degrades from exact DPhyp through IDP-k to greedy GOO; any other \
+     algorithm fails once the budget is spent."
+  in
+  Arg.(value & opt (some int) None & info [ "b"; "budget" ] ~doc)
+
+let k_arg =
+  let doc = "IDP block size (relations optimized exactly per round)." in
+  Arg.(value & opt int Core.Idp.default_k & info [ "k" ] ~doc)
 
 let model_arg =
   let model_conv =
@@ -83,6 +98,9 @@ let report_result g (r : Core.Optimizer.result) elapsed =
         Plans.Plan.pp p p.cost p.card;
       Format.printf "@[<v>%a@]" (Plans.Plan.pp_verbose g) p
   | None -> Format.printf "no plan found@.");
+  (match r.tier with
+  | Some t -> Format.printf "tier: %s@." (Core.Adaptive.tier_name t)
+  | None -> ());
   Format.printf "counters: %a@." Core.Counters.pp r.counters;
   Format.printf "dp entries: %d   time: %.3f ms@." r.dp_entries
     (elapsed *. 1000.0)
@@ -91,6 +109,19 @@ let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* Non-adaptive algorithms let Budget_exhausted escape; turn it into a
+   CLI error instead of a backtrace. *)
+let timed_run ~model ?budget ~k algo g =
+  match timed (fun () -> Core.Optimizer.run ~model ?budget ~k algo g) with
+  | r -> Ok r
+  | exception Core.Counters.Budget_exhausted ->
+      Error
+        (Printf.sprintf
+           "budget of %d pairs exhausted by %s (try --algo adaptive for \
+            graceful degradation)"
+           (Option.value ~default:0 budget)
+           (Core.Optimizer.name algo))
 
 (* ------------------------------------------------------------------ *)
 (* optimize: SQL pipeline                                              *)
@@ -110,28 +141,30 @@ let read_sql s =
   else s
 
 let optimize_cmd =
-  let run sql algo model conservative verbose dot_plan =
+  let run sql algo model budget k conservative verbose dot_plan =
     match Sqlfront.Binder.parse_and_bind (read_sql sql) with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
         1
-    | Ok bound ->
+    | Ok bound -> (
         let tree = Conflicts.Simplify.simplify bound.tree in
         Format.printf "initial operator tree:@.%a@." Relalg.Optree.pp tree;
         let analysis = Conflicts.Analysis.analyze ~conservative tree in
         if verbose then Format.printf "%a@." Conflicts.Analysis.pp analysis;
         let g = Conflicts.Derive.hypergraph analysis in
         if verbose then Format.printf "%a@." G.pp g;
-        let r, elapsed =
-          timed (fun () -> Core.Optimizer.run ~model algo g)
-        in
-        report_result g r elapsed;
-        (match dot_plan, r.Core.Optimizer.plan with
-        | Some path, Some p ->
-            Plans.Plan_dot.write_file path g p;
-            Format.printf "plan graph written to %s@." path
-        | _ -> ());
-        0
+        match timed_run ~model ?budget ~k algo g with
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            1
+        | Ok (r, elapsed) ->
+            report_result g r elapsed;
+            (match dot_plan, r.Core.Optimizer.plan with
+            | Some path, Some p ->
+                Plans.Plan_dot.write_file path g p;
+                Format.printf "plan graph written to %s@." path
+            | _ -> ());
+            0)
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print analysis and graph.")
@@ -142,32 +175,38 @@ let optimize_cmd =
   in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a SQL query")
-    Term.(const run $ sql_arg $ algo_arg $ model_arg $ conservative_arg $ verbose $ dot_plan)
+    Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
+          $ conservative_arg $ verbose $ dot_plan)
 
 (* ------------------------------------------------------------------ *)
 (* shape: benchmark graphs                                             *)
 
 let shape_cmd =
-  let run shape n splits algo model =
+  let run shape n splits algo model budget k =
     match graph_of_shape shape n splits with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
         1
-    | Ok g ->
+    | Ok g -> (
         Format.printf "%a@." G.pp g;
-        let r, elapsed = timed (fun () -> Core.Optimizer.run ~model algo g) in
-        report_result g r elapsed;
-        0
+        match timed_run ~model ?budget ~k algo g with
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            1
+        | Ok (r, elapsed) ->
+            report_result g r elapsed;
+            0)
   in
   Cmd.v
     (Cmd.info "shape" ~doc:"Generate a benchmark graph and optimize it")
-    Term.(const run $ shape_arg $ n_arg $ splits_arg $ algo_arg $ model_arg)
+    Term.(const run $ shape_arg $ n_arg $ splits_arg $ algo_arg $ model_arg
+          $ budget_arg $ k_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph: save / load / optimize serialized hypergraphs                *)
 
 let graph_cmd =
-  let run input algo model save =
+  let run input algo model budget k save =
     let g_result =
       if String.length input > 0 && input.[0] = '@' then
         Hypergraph.Serialize.read_file
@@ -188,9 +227,13 @@ let graph_cmd =
             Format.printf "wrote %s@." path
         | None -> ());
         Format.printf "%a@." G.pp g;
-        let r, elapsed = timed (fun () -> Core.Optimizer.run ~model algo g) in
-        report_result g r elapsed;
-        0
+        (match timed_run ~model ?budget ~k algo g with
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            1
+        | Ok (r, elapsed) ->
+            report_result g r elapsed;
+            0)
   in
   let input =
     Arg.(required & pos 0 (some string) None
@@ -205,7 +248,7 @@ let graph_cmd =
   Cmd.v
     (Cmd.info "graph" ~doc:"Optimize a serialized hypergraph (see \
                             Hypergraph.Serialize for the format)")
-    Term.(const run $ input $ algo_arg $ model_arg $ save)
+    Term.(const run $ input $ algo_arg $ model_arg $ budget_arg $ k_arg $ save)
 
 (* ------------------------------------------------------------------ *)
 (* ccp: counts                                                         *)
@@ -287,7 +330,7 @@ let trace_cmd =
 (* run: SQL -> optimize -> execute on a generated instance             *)
 
 let run_cmd =
-  let run sql algo model conservative rows seed =
+  let run sql algo model budget k conservative rows seed =
     match Sqlfront.Binder.parse_and_bind (read_sql sql) with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
@@ -298,7 +341,13 @@ let run_cmd =
         let inst = Executor.Instance.for_tree ~rows ~domain:4 ~seed tree in
         let g0 = Conflicts.Derive.hypergraph analysis in
         let g = Executor.Estimate.calibrate inst g0 in
-        match (Core.Optimizer.run ~model algo g).Core.Optimizer.plan with
+        match
+          match timed_run ~model ?budget ~k algo g with
+          | Error msg ->
+              Format.eprintf "error: %s@." msg;
+              None
+          | Ok (r, _) -> r.Core.Optimizer.plan
+        with
         | None ->
             Format.eprintf "no plan found@.";
             1
@@ -332,35 +381,42 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Optimize a SQL query and execute it on generated data")
-    Term.(const run $ sql_arg $ algo_arg $ model_arg $ conservative_arg $ rows $ seed)
+    Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
+          $ conservative_arg $ rows $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* tpch: canned realistic join graphs                                  *)
 
 let tpch_cmd =
-  let run query algo model sf =
+  let run query algo model budget k sf =
     if query = "all" then begin
       List.iter
         (fun name ->
           let g = Workloads.Tpch.query ~sf name in
-          let r, elapsed = timed (fun () -> Core.Optimizer.run ~model algo g) in
-          Format.printf "%-4s (%d relations): time=%.3f ms  cost=%.4g  %a@."
-            name (G.num_nodes g) (elapsed *. 1000.0)
-            (match r.Core.Optimizer.plan with
-            | Some p -> p.Plans.Plan.cost
-            | None -> nan)
-            (Format.pp_print_option Plans.Plan.pp)
-            r.Core.Optimizer.plan)
+          match timed_run ~model ?budget ~k algo g with
+          | Error msg -> Format.printf "%-4s: %s@." name msg
+          | Ok (r, elapsed) ->
+              Format.printf "%-4s (%d relations): time=%.3f ms  cost=%.4g  %a@."
+                name (G.num_nodes g) (elapsed *. 1000.0)
+                (match r.Core.Optimizer.plan with
+                | Some p -> p.Plans.Plan.cost
+                | None -> nan)
+                (Format.pp_print_option Plans.Plan.pp)
+                r.Core.Optimizer.plan)
         Workloads.Tpch.query_names;
       0
     end
     else
       match Workloads.Tpch.query ~sf query with
-      | g ->
+      | g -> (
           Format.printf "%a@." G.pp g;
-          let r, elapsed = timed (fun () -> Core.Optimizer.run ~model algo g) in
-          report_result g r elapsed;
-          0
+          match timed_run ~model ?budget ~k algo g with
+          | Error msg ->
+              Format.eprintf "error: %s@." msg;
+              1
+          | Ok (r, elapsed) ->
+              report_result g r elapsed;
+              0)
       | exception Invalid_argument msg ->
           Format.eprintf "error: %s@." msg;
           1
@@ -374,7 +430,7 @@ let tpch_cmd =
   in
   Cmd.v
     (Cmd.info "tpch" ~doc:"Optimize TPC-H-shaped join graphs")
-    Term.(const run $ query $ algo_arg $ model_arg $ sf)
+    Term.(const run $ query $ algo_arg $ model_arg $ budget_arg $ k_arg $ sf)
 
 let main =
   let info =

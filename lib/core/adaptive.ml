@@ -1,0 +1,63 @@
+module G = Hypergraph.Graph
+
+type tier = Exact | Idp_k of int | Greedy
+
+let tier_name = function
+  | Exact -> "exact"
+  | Idp_k k -> Printf.sprintf "idp-%d" k
+  | Greedy -> "greedy"
+
+type attempt = { tier : tier; completed : bool; pairs : int }
+
+type outcome = {
+  plan : Plans.Plan.t option;
+  tier : tier;
+  counters : Counters.t;
+  dp_entries : int;
+  attempts : attempt list;
+}
+
+let default_ks = [ 10; 7; 5; 3 ]
+
+(* Every tier gets a fresh budget: the point of the ladder is that
+   each rung does strictly less work per answer, so re-charging the
+   budget keeps the semantics simple ("no single strategy may exceed
+   b pairs") and deterministic.  The final GOO rung is deliberately
+   unbudgeted — it is O(n^2 · n) pairs and must always produce the
+   answer of last resort. *)
+let solve ?(model = Costing.Cost_model.c_out) ?budget ?(ks = default_ks) g =
+  let attempts = ref [] in
+  let record tier completed (c : Counters.t) =
+    attempts := { tier; completed; pairs = c.Counters.pairs_considered } :: !attempts
+  in
+  let finish tier (counters : Counters.t) dp_entries plan =
+    record tier true counters;
+    { plan; tier; counters; dp_entries; attempts = List.rev !attempts }
+  in
+  let n = G.num_nodes g in
+  let exact_counters = Counters.create ?budget () in
+  match Dphyp.solve_with_table ~model ~counters:exact_counters g with
+  | dp, plan -> finish Exact exact_counters (Plans.Dp_table.size dp) plan
+  | exception Counters.Budget_exhausted ->
+      record Exact false exact_counters;
+      let rec descend = function
+        | [] ->
+            let counters = Counters.create () in
+            let plan = Goo.solve ~model ~counters g in
+            finish Greedy counters 0 plan
+        | k :: rest when k >= n || k < 2 ->
+            (* k >= n would just repeat the exact run that already
+               blew the budget *)
+            descend rest
+        | k :: rest -> (
+            let counters = Counters.create ?budget () in
+            match Idp.solve ~model ~counters ~k g with
+            | Some plan -> finish (Idp_k k) counters 0 (Some plan)
+            | None ->
+                record (Idp_k k) true counters;
+                descend rest
+            | exception Counters.Budget_exhausted ->
+                record (Idp_k k) false counters;
+                descend rest)
+      in
+      descend ks

@@ -1,19 +1,35 @@
+exception Budget_exhausted
+
 type t = {
   mutable pairs_considered : int;
   mutable ccp_emitted : int;
   mutable cost_calls : int;
   mutable filter_rejected : int;
   mutable neighborhood_calls : int;
+  mutable budget_limit : int;
 }
 
-let create () =
+let create ?budget () =
+  let budget_limit =
+    match budget with
+    | None -> max_int
+    | Some b ->
+        if b < 0 then invalid_arg "Counters.create: negative budget" else b
+  in
   {
     pairs_considered = 0;
     ccp_emitted = 0;
     cost_calls = 0;
     filter_rejected = 0;
     neighborhood_calls = 0;
+    budget_limit;
   }
+
+let budget t = if t.budget_limit = max_int then None else Some t.budget_limit
+
+let tick_pair t =
+  t.pairs_considered <- t.pairs_considered + 1;
+  if t.pairs_considered > t.budget_limit then raise Budget_exhausted
 
 let reset t =
   t.pairs_considered <- 0;
@@ -26,4 +42,6 @@ let pp ppf t =
   Format.fprintf ppf
     "pairs=%d ccp=%d cost-calls=%d filtered=%d neighborhoods=%d"
     t.pairs_considered t.ccp_emitted t.cost_calls t.filter_rejected
-    t.neighborhood_calls
+    t.neighborhood_calls;
+  if t.budget_limit <> max_int then
+    Format.fprintf ppf " budget=%d" t.budget_limit

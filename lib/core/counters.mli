@@ -5,7 +5,19 @@
     while DPsize and DPsub burn their time on candidate pairs that
     fail the [( * )] tests of Figure 1.  Every algorithm in this library
     maintains one of these records so benchmarks can report the
-    counters next to wall-clock time. *)
+    counters next to wall-clock time.
+
+    The [pairs_considered] counter doubles as a {e deterministic work
+    budget}: a counter created with [~budget:b] raises
+    {!Budget_exhausted} from {!tick_pair} as soon as the (b+1)-th pair
+    is considered.  Because every enumerator charges its candidate
+    pairs through [tick_pair], the budget measures enumeration effort
+    in a machine-independent unit — the same graph and budget always
+    stop at the same point, so tests never depend on wall-clock
+    time. *)
+
+exception Budget_exhausted
+(** Raised by {!tick_pair} when the work budget is spent. *)
 
 type t = {
   mutable pairs_considered : int;
@@ -21,10 +33,24 @@ type t = {
       (** pairs rejected by an external validity filter (the
           TES-generate-and-test mode of Section 5.8) *)
   mutable neighborhood_calls : int;  (** N(S,X) evaluations (DPhyp) *)
+  mutable budget_limit : int;
+      (** maximum [pairs_considered] before {!Budget_exhausted};
+          [max_int] means unlimited *)
 }
 
-val create : unit -> t
+val create : ?budget:int -> unit -> t
+(** Fresh counters.  [?budget] caps [pairs_considered]; omitting it
+    means unlimited work.  @raise Invalid_argument on a negative
+    budget. *)
+
+val budget : t -> int option
+(** The budget the counters were created with, if any. *)
+
+val tick_pair : t -> unit
+(** Charge one considered pair.  @raise Budget_exhausted when the
+    budget is exceeded. *)
 
 val reset : t -> unit
+(** Zero all counters.  The budget limit is kept. *)
 
 val pp : Format.formatter -> t -> unit

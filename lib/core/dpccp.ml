@@ -23,8 +23,7 @@ let rec enumerate_cmp_rec c s1 s2 x =
   if not (Ns.is_empty n) then begin
     Se.iter_nonempty n (fun sub ->
         let s2' = Ns.union s2 sub in
-        c.counters.Counters.pairs_considered <-
-          c.counters.Counters.pairs_considered + 1;
+        Counters.tick_pair c.counters;
         if Plans.Dp_table.mem c.dp s2' && connected c s1 s2' then
           c.emit s1 s2');
     let x' = Ns.union x n in
@@ -37,8 +36,7 @@ let emit_csg c s1 =
   Ns.iter_desc
     (fun v ->
       let s2 = Ns.singleton v in
-      c.counters.Counters.pairs_considered <-
-        c.counters.Counters.pairs_considered + 1;
+      Counters.tick_pair c.counters;
       if connected c s1 s2 then c.emit s1 s2;
       enumerate_cmp_rec c s1 s2 (Ns.union x (Ns.inter n (Ns.upto v))))
     n

@@ -6,13 +6,22 @@ module G = Hypergraph.Graph
    emission action so that plan construction and pure enumeration
    share one code path.  [emit s1 s2] must install a dpTable entry for
    s1 ∪ s2 when (s1, s2) is a csg-cmp-pair — the connectivity tests
-   below are dpTable lookups, per the paper. *)
+   below are dpTable lookups, per the paper.
+
+   [restrict] holds nodes that must never appear in any csg or cmp:
+   it is folded into every exclusion set, so a run over [restrict =
+   V \ B] is exact DPhyp on the sub-hypergraph induced by the block
+   [B].  The whole-graph entry points use [restrict = ∅], in which
+   case every union below is a no-op and the behavior (and emission
+   order) is bit-for-bit the classic algorithm.  IDP-k (see Idp) is
+   the customer of the restricted form. *)
 
 type ctx = {
   g : G.t;
   dp : Plans.Dp_table.t;
   counters : Counters.t;
   emit : Ns.t -> Ns.t -> unit;
+  restrict : Ns.t;
 }
 
 let neighborhood c s x =
@@ -29,8 +38,7 @@ let rec enumerate_cmp_rec c s1 s2 x =
   if not (Ns.is_empty n) then begin
     Se.iter_nonempty n (fun sub ->
         let s2' = Ns.union s2 sub in
-        c.counters.Counters.pairs_considered <-
-          c.counters.Counters.pairs_considered + 1;
+        Counters.tick_pair c.counters;
         if Plans.Dp_table.mem c.dp s2' && G.connects c.g s1 s2' then
           c.emit s1 s2');
     let x' = Ns.union x n in
@@ -43,13 +51,14 @@ let rec enumerate_cmp_rec c s1 s2 x =
    seeds that are still to come below it (B_v(N)) so each complement
    is grown from its smallest contained neighbor only. *)
 let emit_csg c s1 =
-  let x = Ns.union s1 (Ns.upto (Ns.min_elt s1)) in
+  let x =
+    Ns.union c.restrict (Ns.union s1 (Ns.upto (Ns.min_elt s1)))
+  in
   let n = neighborhood c s1 x in
   Ns.iter_desc
     (fun v ->
       let s2 = Ns.singleton v in
-      c.counters.Counters.pairs_considered <-
-        c.counters.Counters.pairs_considered + 1;
+      Counters.tick_pair c.counters;
       if G.connects c.g s1 s2 then c.emit s1 s2;
       enumerate_cmp_rec c s1 s2 (Ns.union x (Ns.inter n (Ns.upto v))))
     n
@@ -67,17 +76,23 @@ let rec enumerate_csg_rec c s1 x =
     Se.iter_nonempty n (fun sub -> enumerate_csg_rec c (Ns.union s1 sub) x')
   end
 
+let run_subset ~emit ~counters ?leaf ~subset g dp =
+  let leaf =
+    match leaf with Some f -> f | None -> fun v -> Plans.Plan.scan g v
+  in
+  let restrict = Ns.diff (G.all_nodes g) subset in
+  let c = { g; dp; counters; emit; restrict } in
+  Ns.iter (fun v -> Plans.Dp_table.force dp (leaf v)) subset;
+  Ns.iter_desc
+    (fun v ->
+      let s = Ns.singleton v in
+      emit_csg c s;
+      enumerate_csg_rec c s
+        (Ns.union restrict (Ns.inter subset (Ns.upto v))))
+    subset
+
 let run ~emit ~counters g dp =
-  let c = { g; dp; counters; emit } in
-  let n = G.num_nodes g in
-  for v = 0 to n - 1 do
-    Plans.Dp_table.force dp (Plans.Plan.scan g v)
-  done;
-  for v = n - 1 downto 0 do
-    let s = Ns.singleton v in
-    emit_csg c s;
-    enumerate_csg_rec c s (Ns.upto v)
-  done
+  run_subset ~emit ~counters ~subset:(G.all_nodes g) g dp
 
 let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter
     ?(counters = Counters.create ()) g =
@@ -88,6 +103,13 @@ let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter
 
 let solve ?model ?filter ?counters g =
   snd (solve_with_table ?model ?filter ?counters g)
+
+let solve_subset ?(model = Costing.Cost_model.c_out) ?leaf
+    ?(counters = Counters.create ()) ~subset g =
+  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let e = Emit.make ~model ~counters g dp in
+  run_subset ~emit:(Emit.emit_pair e) ~counters ?leaf ~subset g dp;
+  (dp, Plans.Dp_table.find dp subset)
 
 let enumerate_ccps g =
   let counters = Counters.create () in

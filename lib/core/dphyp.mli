@@ -25,7 +25,8 @@ val solve :
     only for disconnected graphs — see
     {!Hypergraph.Graph.ensure_connected} — or when a filter rejects
     every decomposition of the full set).  Defaults: C_out model, no
-    filter, fresh counters. *)
+    filter, fresh counters.  A budgeted [counters] makes the run raise
+    {!Counters.Budget_exhausted} once the budget is spent. *)
 
 val solve_with_table :
   ?model:Costing.Cost_model.t ->
@@ -35,6 +36,22 @@ val solve_with_table :
   Plans.Dp_table.t * Plans.Plan.t option
 (** Like {!solve} but also returns the full DP table (for inspection
     of all connected subgraphs and their best plans). *)
+
+val solve_subset :
+  ?model:Costing.Cost_model.t ->
+  ?leaf:(int -> Plans.Plan.t) ->
+  ?counters:Counters.t ->
+  subset:Nodeset.Node_set.t ->
+  Hypergraph.Graph.t ->
+  Plans.Dp_table.t * Plans.Plan.t option
+(** Exact DPhyp restricted to the sub-hypergraph induced by [subset]:
+    nodes outside [subset] are folded into every exclusion set, so no
+    csg or cmp ever leaves it.  [leaf] supplies the DP seed plan for
+    each node of [subset] (default {!Plans.Plan.scan}) — IDP passes
+    materialized compound leaves here.  Returns the block DP table and
+    the best plan covering all of [subset], if the induced subgraph is
+    connected.  With [subset = all_nodes] this is exactly
+    {!solve_with_table} (without filter support). *)
 
 val enumerate_ccps :
   Hypergraph.Graph.t ->

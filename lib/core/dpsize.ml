@@ -27,8 +27,7 @@ let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter
         (fun set1 ->
           List.iter
             (fun set2 ->
-              counters.Counters.pairs_considered <-
-                counters.Counters.pairs_considered + 1;
+              Counters.tick_pair counters;
               if Ns.disjoint set1 set2 && G.connects g set1 set2 then
                 Emit.emit_directed e set1 set2)
             sets2)

@@ -20,8 +20,7 @@ let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter
          of each unordered split occur, so emission is directed. *)
       Nodeset.Subset_enum.iter_proper_nonempty set (fun s1 ->
           let s2 = Ns.diff set s1 in
-          counters.Counters.pairs_considered <-
-            counters.Counters.pairs_considered + 1;
+          Counters.tick_pair counters;
           if
             Plans.Dp_table.mem dp s1 && Plans.Dp_table.mem dp s2
             && G.connects g s1 s2

@@ -31,8 +31,7 @@ let solve ?(model = Costing.Cost_model.c_out) ?(counters = Counters.create ())
             List.iteri
               (fun j p2 ->
                 if i < j then begin
-                  counters.Counters.pairs_considered <-
-                    counters.Counters.pairs_considered + 1;
+                  Counters.tick_pair counters;
                   match build p1 p2 with
                   | None -> ()
                   | Some p -> (

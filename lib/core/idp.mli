@@ -1,0 +1,37 @@
+(** IDP-k — iterative dynamic programming over blocks of at most [k]
+    relations.
+
+    The budget-friendly middle ground between exact DPhyp and greedy
+    GOO: each round runs {e exact} DPhyp restricted to a greedily
+    chosen block of up to [k] relations ({!Dphyp.solve_subset}),
+    materializes the best contractible sub-plan as a compound leaf
+    ({!Plans.Plan.materialized}) of the contracted graph
+    ({!Hypergraph.Graph.contract}), and repeats until one plan covers
+    the whole query.  Work per round is bounded by the 3{^k} of exact
+    DP on [k] relations, so total work is polynomial in [n] for fixed
+    [k]; with [k >= n] the single round is plain DPhyp, reproducing
+    the exact optimum.
+
+    The returned plan is always flattened back onto the input graph —
+    node sets, edge ids, cardinalities and costs all refer to [g], so
+    {!Plans.Plan_check.check} and {!Plans.Plan.to_optree} apply
+    directly. *)
+
+val default_k : int
+(** Block size used when [?k] is omitted (7). *)
+
+val solve :
+  ?model:Costing.Cost_model.t ->
+  ?counters:Counters.t ->
+  ?k:int ->
+  Hypergraph.Graph.t ->
+  Plans.Plan.t option
+(** Optimize with IDP-[k].  A round whose block holds no contractible
+    connected subset (complex hyperedges can straddle every candidate)
+    widens its block size by one and retries, degenerating to plain
+    exact DP in the worst case rather than failing; [None] is
+    therefore reserved for graphs exact DPhyp itself cannot plan
+    (disconnected inputs).  Callers wanting a guaranteed answer fall
+    back to {!Goo} (which is what {!Adaptive.solve} automates).  A budgeted [counters] makes
+    the run raise {!Counters.Budget_exhausted} when its budget is
+    spent.  @raise Invalid_argument if [k < 2]. *)

@@ -1,6 +1,15 @@
-type algorithm = Dphyp | Dpsize | Dpsub | Dpccp | Goo | Topdown | Tdpart
+type algorithm =
+  | Dphyp
+  | Dpsize
+  | Dpsub
+  | Dpccp
+  | Goo
+  | Topdown
+  | Tdpart
+  | Idp
+  | Adaptive
 
-let all = [ Dphyp; Dpsize; Dpsub; Dpccp; Goo; Topdown; Tdpart ]
+let all = [ Dphyp; Dpsize; Dpsub; Dpccp; Goo; Topdown; Tdpart; Idp; Adaptive ]
 
 let name = function
   | Dphyp -> "dphyp"
@@ -10,6 +19,8 @@ let name = function
   | Goo -> "goo"
   | Topdown -> "topdown"
   | Tdpart -> "tdpart"
+  | Idp -> "idp"
+  | Adaptive -> "adaptive"
 
 let of_name = function
   | "dphyp" -> Some Dphyp
@@ -19,47 +30,61 @@ let of_name = function
   | "goo" -> Some Goo
   | "topdown" -> Some Topdown
   | "tdpart" -> Some Tdpart
+  | "idp" -> Some Idp
+  | "adaptive" -> Some Adaptive
   | _ -> None
 
 let supports_filter = function
   | Dphyp | Dpsize | Dpsub -> true
-  | Dpccp | Goo | Topdown | Tdpart -> false
+  | Dpccp | Goo | Topdown | Tdpart | Idp | Adaptive -> false
 
 let exact = function
   | Dphyp | Dpsize | Dpsub | Dpccp | Topdown | Tdpart -> true
-  | Goo -> false
+  | Goo | Idp | Adaptive -> false
 
 type result = {
   plan : Plans.Plan.t option;
   counters : Counters.t;
   dp_entries : int;
+  tier : Adaptive.tier option;
 }
 
-let run ?model ?filter algo g =
+let run ?model ?filter ?budget ?(k = Idp.default_k) algo g =
   if filter <> None && not (supports_filter algo) then
     invalid_arg
       (Printf.sprintf "Optimizer.run: %s does not support a validity filter"
          (name algo));
-  let counters = Counters.create () in
+  let counters = Counters.create ?budget () in
   match algo with
   | Dphyp ->
       let dp, plan = Dphyp.solve_with_table ?model ?filter ~counters g in
-      { plan; counters; dp_entries = Plans.Dp_table.size dp }
+      { plan; counters; dp_entries = Plans.Dp_table.size dp; tier = None }
   | Dpsize ->
       let dp, plan = Dpsize.solve_with_table ?model ?filter ~counters g in
-      { plan; counters; dp_entries = Plans.Dp_table.size dp }
+      { plan; counters; dp_entries = Plans.Dp_table.size dp; tier = None }
   | Dpsub ->
       let dp, plan = Dpsub.solve_with_table ?model ?filter ~counters g in
-      { plan; counters; dp_entries = Plans.Dp_table.size dp }
+      { plan; counters; dp_entries = Plans.Dp_table.size dp; tier = None }
   | Dpccp ->
       let dp, plan = Dpccp.solve_with_table ?model ~counters g in
-      { plan; counters; dp_entries = Plans.Dp_table.size dp }
+      { plan; counters; dp_entries = Plans.Dp_table.size dp; tier = None }
   | Goo ->
       let plan = Goo.solve ?model ~counters g in
-      { plan; counters; dp_entries = 0 }
+      { plan; counters; dp_entries = 0; tier = None }
   | Topdown ->
       let plan = Top_down.solve ?model ~counters g in
-      { plan; counters; dp_entries = 0 }
+      { plan; counters; dp_entries = 0; tier = None }
   | Tdpart ->
       let plan = Top_down_partition.solve ?model ~counters g in
-      { plan; counters; dp_entries = 0 }
+      { plan; counters; dp_entries = 0; tier = None }
+  | Idp ->
+      let plan = Idp.solve ?model ~counters ~k g in
+      { plan; counters; dp_entries = 0; tier = None }
+  | Adaptive ->
+      let o = Adaptive.solve ?model ?budget g in
+      {
+        plan = o.Adaptive.plan;
+        counters = o.Adaptive.counters;
+        dp_entries = o.Adaptive.dp_entries;
+        tier = Some o.Adaptive.tier;
+      }

@@ -3,7 +3,18 @@
     Benchmarks, tests and the CLI all go through this module so that
     every algorithm is invoked and measured identically. *)
 
-type algorithm = Dphyp | Dpsize | Dpsub | Dpccp | Goo | Topdown | Tdpart
+type algorithm =
+  | Dphyp
+  | Dpsize
+  | Dpsub
+  | Dpccp
+  | Goo
+  | Topdown
+  | Tdpart
+  | Idp  (** iterative DP over blocks of [k] relations ({!Idp}) *)
+  | Adaptive
+      (** budgeted ladder: DPhyp, then IDP with shrinking k, then GOO
+          ({!Adaptive}) *)
 
 val all : algorithm list
 
@@ -17,20 +28,36 @@ val supports_filter : algorithm -> bool
 
 val exact : algorithm -> bool
 (** Does the algorithm guarantee the optimal plan (everything except
-    GOO)? *)
+    GOO, IDP and Adaptive)?  Note Adaptive with an unlimited budget
+    and IDP with [k >= n] do return the exact optimum, but carry no
+    general guarantee. *)
 
 type result = {
   plan : Plans.Plan.t option;
   counters : Counters.t;
   dp_entries : int;  (** size of the DP/memo table, 0 if none kept *)
+  tier : Adaptive.tier option;
+      (** which rung of the adaptive ladder produced the plan;
+          [None] for every non-adaptive algorithm *)
 }
 
 val run :
   ?model:Costing.Cost_model.t ->
   ?filter:Emit.filter ->
+  ?budget:int ->
+  ?k:int ->
   algorithm ->
   Hypergraph.Graph.t ->
   result
-(** Run one algorithm on one query graph.  @raise Invalid_argument
-    when [Dpccp] is given a hypergraph with non-simple edges, or a
-    [filter] is passed to an algorithm that does not support one. *)
+(** Run one algorithm on one query graph.
+
+    [?budget] caps the considered pairs ({!Counters.tick_pair}).  For
+    [Adaptive] it drives the fallback ladder and never escapes; for
+    every other algorithm exceeding it raises
+    {!Counters.Budget_exhausted} — the caller asked for a hard limit
+    on an algorithm with no fallback.  [?k] is the IDP block size
+    (default {!Idp.default_k}; ignored except by [Idp]).
+
+    @raise Invalid_argument when [Dpccp] is given a hypergraph with
+    non-simple edges, or a [filter] is passed to an algorithm that
+    does not support one. *)

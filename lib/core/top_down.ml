@@ -29,14 +29,12 @@ let solve ?(model = Costing.Cost_model.c_out) ?(counters = Counters.create ())
             Se.iter_proper_nonempty rest (fun part ->
                 let s2 = part in
                 let s1 = Ns.diff s s2 in
-                counters.Counters.pairs_considered <-
-                  counters.Counters.pairs_considered + 1;
+                Counters.tick_pair counters;
                 match best_plan s1, best_plan s2 with
                 | Some p1, Some p2 -> combine best p1 p2
                 | _ -> ());
             (* the split s2 = rest itself (s1 = {min}) *)
-            counters.Counters.pairs_considered <-
-              counters.Counters.pairs_considered + 1;
+            Counters.tick_pair counters;
             (match best_plan (Ns.min_set s), best_plan rest with
             | Some p1, Some p2 -> combine best p1 p2
             | _ -> ());

@@ -22,8 +22,7 @@ let solve ?(model = Costing.Cost_model.c_out) ?(counters = Counters.create ())
             let consider s1 =
               let s2 = Ns.diff s s1 in
               if not (Ns.is_empty s2) then begin
-                counters.Counters.pairs_considered <-
-                  counters.Counters.pairs_considered + 1;
+                Counters.tick_pair counters;
                 match best s1, best s2 with
                 | Some p1, Some p2 ->
                     let cands = Emit.candidates ~model ~counters g p1 p2 in

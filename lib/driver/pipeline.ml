@@ -11,10 +11,15 @@ type result = {
   graph : Hypergraph.Graph.t;
   plan : Plans.Plan.t;
   counters : Core.Counters.t;
+  tier : Core.Adaptive.tier option;
 }
 
+let budget_error =
+  "work budget exhausted before a plan was found (use the adaptive algorithm \
+   for graceful degradation)"
+
 let optimize_tree ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp) ?model
-    ?cards ?sels tree =
+    ?budget ?k ?cards ?sels tree =
   match Ot.validate tree with
   | Error e -> Error ("invalid operator tree: " ^ Ot.error_to_string e)
   | Ok () -> (
@@ -44,23 +49,25 @@ let optimize_tree ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp) ?model
                 support"
                (Core.Optimizer.name algo))
       | _ -> (
-          match Core.Optimizer.run ?model ?filter algo graph with
-          | { plan = Some plan; counters; _ } ->
-              Ok { tree; graph; plan; counters }
+          match Core.Optimizer.run ?model ?filter ?budget ?k algo graph with
+          | { plan = Some plan; counters; tier; _ } ->
+              Ok { tree; graph; plan; counters; tier }
           | { plan = None; _ } -> Error "no valid plan found"
-          | exception Invalid_argument m -> Error m))
+          | exception Invalid_argument m -> Error m
+          | exception Core.Counters.Budget_exhausted -> Error budget_error))
 
-let optimize_sql ?mode ?algo ?model ?cards ?sels sql =
+let optimize_sql ?mode ?algo ?model ?budget ?k ?cards ?sels sql =
   match Sqlfront.Binder.parse_and_bind sql with
   | Error m -> Error m
-  | Ok bound -> optimize_tree ?mode ?algo ?model ?cards ?sels bound.tree
+  | Ok bound -> optimize_tree ?mode ?algo ?model ?budget ?k ?cards ?sels bound.tree
 
-let optimize_graph ?(algo = Core.Optimizer.Dphyp) ?model graph =
-  match Core.Optimizer.run ?model algo graph with
-  | { plan = Some plan; counters; _ } ->
-      Ok { tree = Plans.Plan.to_optree graph plan; graph; plan; counters }
+let optimize_graph ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k graph =
+  match Core.Optimizer.run ?model ?budget ?k algo graph with
+  | { plan = Some plan; counters; tier; _ } ->
+      Ok { tree = Plans.Plan.to_optree graph plan; graph; plan; counters; tier }
   | { plan = None; _ } -> Error "no valid plan found"
   | exception Invalid_argument m -> Error m
+  | exception Core.Counters.Budget_exhausted -> Error budget_error
 
 let verify_on_data ?(rows = 8) ?(seed = 42) r =
   let inst = Executor.Instance.for_tree ~rows ~seed r.tree in

@@ -23,25 +23,35 @@ type result = {
   graph : Hypergraph.Graph.t;
   plan : Plans.Plan.t;
   counters : Core.Counters.t;
+  tier : Core.Adaptive.tier option;
+      (** which adaptive rung produced the plan; [None] unless
+          [algo = Adaptive] *)
 }
 
 val optimize_tree :
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
+  ?budget:int ->
+  ?k:int ->
   ?cards:(int -> float) ->
   ?sels:(int -> float) ->
   Relalg.Optree.t ->
   (result, string) Result.t
 (** Simplify, run conflict analysis under [mode] (default
     {!Tes_literal}), derive the hypergraph, optimize with [algo]
-    (default DPhyp).  [Error] carries a human-readable reason
-    (invalid tree, no plan, algorithm/filter mismatch). *)
+    (default DPhyp).  [?budget] and [?k] are forwarded to
+    {!Core.Optimizer.run}; a non-adaptive algorithm that blows the
+    budget yields [Error] rather than an exception.  [Error] carries
+    a human-readable reason (invalid tree, no plan, algorithm/filter
+    mismatch, budget exhausted). *)
 
 val optimize_sql :
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
+  ?budget:int ->
+  ?k:int ->
   ?cards:(int -> float) ->
   ?sels:(int -> float) ->
   string ->
@@ -51,6 +61,8 @@ val optimize_sql :
 val optimize_graph :
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
+  ?budget:int ->
+  ?k:int ->
   Hypergraph.Graph.t ->
   (result, string) Result.t
 (** Plain-hypergraph entry point (inner joins / pre-built edges); the

@@ -420,6 +420,100 @@ let ensure_connected g =
       in
       make g.relations (Array.append g.edges (Array.of_list glue))
 
+(* ---- contraction (IDP support) ------------------------------------ *)
+
+(* A block can be contracted iff no edge straddles it: an edge whose
+   cover is not fully inside the block must keep its two hypernodes on
+   one side of the block boundary each, otherwise collapsing the block
+   would make u and v overlap. *)
+let contractible g block =
+  Array.for_all
+    (fun (e : Hyperedge.t) ->
+      Ns.subset g.edge_covers.(e.id) block
+      || not (Ns.intersects e.u block && Ns.intersects e.v block))
+    g.edges
+
+type contraction = {
+  cgraph : t;
+  node_of : int array;
+  edge_of : int array;
+}
+
+let contract g ~block ~card ?name () =
+  if Ns.cardinal block < 2 then
+    invalid_arg "Graph.contract: block needs at least two nodes";
+  if not (Ns.subset block (all_nodes g)) then
+    invalid_arg "Graph.contract: block mentions out-of-range node";
+  if not (contractible g block) then
+    invalid_arg "Graph.contract: an edge straddles the block boundary";
+  let b_min = Ns.min_elt block in
+  (* Surviving nodes keep their relative order; the compound node sits
+     where the block's minimal member was. *)
+  let node_of = Array.make g.n 0 in
+  let next = ref 0 in
+  let b_new = ref 0 in
+  for v = 0 to g.n - 1 do
+    if Ns.mem v block then begin
+      if v = b_min then begin
+        b_new := !next;
+        incr next
+      end
+    end
+    else begin
+      node_of.(v) <- !next;
+      incr next
+    end
+  done;
+  let b_new = !b_new in
+  Ns.iter (fun v -> node_of.(v) <- b_new) block;
+  let n' = !next in
+  let map_set s = Ns.fold (fun v acc -> Ns.add node_of.(v) acc) s Ns.empty in
+  let name =
+    match name with
+    | Some n -> n
+    | None ->
+        "("
+        ^ String.concat "*"
+            (List.rev
+               (Ns.fold (fun v acc -> g.relations.(v).name :: acc) block []))
+        ^ ")"
+  in
+  let rels = Array.make n' (base_rel "") in
+  for v = 0 to g.n - 1 do
+    if not (Ns.mem v block) then begin
+      let r = g.relations.(v) in
+      rels.(node_of.(v)) <- { r with free = map_set r.free }
+    end
+  done;
+  let block_free =
+    Ns.diff
+      (Ns.fold (fun v acc -> Ns.union g.relations.(v).free acc) block Ns.empty)
+      block
+  in
+  rels.(b_new) <- { name; card; free = map_set block_free };
+  let edges' = ref [] and edge_of = ref [] in
+  let next_id = ref 0 in
+  Array.iter
+    (fun (e : Hyperedge.t) ->
+      if not (Ns.subset g.edge_covers.(e.id) block) then begin
+        (* edges fully inside the block were applied by the block plan
+           and disappear; every other edge survives with its sides
+           mapped through [node_of] (at most one side touches the
+           block, so u' and v' stay disjoint) *)
+        let u = map_set e.u and v = map_set e.v in
+        let w = Ns.diff (Ns.diff (map_set e.w) u) v in
+        let e' =
+          Hyperedge.make ~w ~op:e.op ~pred:e.pred ~sel:e.sel ~aggs:e.aggs
+            ~id:!next_id u v
+        in
+        edges' := e' :: !edges';
+        edge_of := e.id :: !edge_of;
+        incr next_id
+      end)
+    g.edges;
+  let cgraph = make rels (Array.of_list (List.rev !edges')) in
+  { cgraph; node_of; edge_of = Array.of_list (List.rev !edge_of) }
+
 let pp ppf g =
   Format.fprintf ppf "@[<v>hypergraph: %d nodes, %d edges@," g.n
     (Array.length g.edges);

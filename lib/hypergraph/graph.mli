@@ -110,4 +110,40 @@ val ensure_connected : t -> t
     inner-join hyperedges between consecutive connected components so
     that the result is connected and describes the same query. *)
 
+val contractible : t -> Nodeset.Node_set.t -> bool
+(** Can the block be collapsed to a single node?  True iff no edge
+    {e straddles} it: every edge whose cover is not fully inside the
+    block has each of its two hypernodes entirely on one side of the
+    block boundary.  (A straddling edge's hypernodes would overlap
+    after the collapse.) *)
+
+type contraction = {
+  cgraph : t;  (** the contracted graph *)
+  node_of : int array;
+      (** old node → new node; every block member maps to the
+          compound node *)
+  edge_of : int array;
+      (** new edge id → old edge id (edges fully inside the block are
+          dropped; all others survive in id order) *)
+}
+
+val contract :
+  t ->
+  block:Nodeset.Node_set.t ->
+  card:float ->
+  ?name:string ->
+  unit ->
+  contraction
+(** Collapse [block] into one compound node — the graph-side half of a
+    step of iterative dynamic programming (the plan-side half is
+    {!Plans.Plan.materialized}; the driver is [Core.Idp]).  The
+    compound node takes the position of the block's minimal member in
+    the surviving node order and carries cardinality [card] (the block
+    plan's output estimate) and the block's outward free variables.
+    Edges covered by the block disappear — an exact DP over the block
+    applies all of them, pending inner ones included; every other edge
+    keeps its payload with hypernodes mapped through [node_of].
+    @raise Invalid_argument if the block has fewer than two nodes,
+    mentions an out-of-range node, or is not {!contractible}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -21,6 +21,11 @@ type t = {
 and tree =
   | Scan of int  (** base relation access *)
   | Join of join
+  | Compound of compound
+      (** materialized sub-plan standing in as a leaf — the unit of
+          iterative dynamic programming (IDP), where a block of
+          relations is optimized exactly and then contracted to a
+          single node of a coarser graph *)
 
 and join = {
   op : Relalg.Operator.t;
@@ -30,12 +35,29 @@ and join = {
       (** hyperedges whose predicates were applied at this node:
           the connecting edges, plus any pending inner edge that this
           join is the first to cover *)
+  sel : float;
+      (** combined selectivity of the applied predicates, kept so a
+          plan built on a contracted graph can be re-costed
+          node-for-node on the original graph (see Idp) *)
   left : t;
   right : t;
 }
 
+and compound = {
+  node : int;  (** the node this leaf occupies in {e its} graph *)
+  sub : t;
+      (** the materialized plan; its node sets refer to a different
+          (finer) graph than the plan containing this leaf *)
+}
+
 val scan : Hypergraph.Graph.t -> int -> t
 (** Plan for a single relation: cost 0, cardinality from catalog. *)
+
+val materialized : Hypergraph.Graph.t -> int -> t -> t
+(** [materialized g i sub] — a leaf of [g] at node [i] standing for
+    the already-optimized plan [sub] (over a finer graph).
+    Cardinality and cost are taken from [sub], so enumeration on [g]
+    accounts for the work already committed inside the block. *)
 
 val join :
   Costing.Cost_model.t ->
@@ -49,7 +71,9 @@ val join :
 val num_joins : t -> int
 
 val leaves : t -> int list
-(** Relation indices, left-to-right plan order. *)
+(** Relation indices, left-to-right plan order.  Compound leaves
+    contribute the leaves of their sub-plan (i.e. indices in the
+    sub-plan's graph). *)
 
 val is_left_deep : t -> bool
 
@@ -61,7 +85,8 @@ val to_optree : Hypergraph.Graph.t -> t -> Relalg.Optree.t
     carries the conjunction of its edges' predicates, the nestjoin
     aggregates if any, and the recovered operator.  Leaf numbering is
     the plan's, i.e. not necessarily left-to-right — the executor does
-    not care. *)
+    not care.  @raise Invalid_argument on an unflattened compound
+    leaf, whose sub-plan refers to a different graph. *)
 
 val pp : Format.formatter -> t -> unit
 (** One-line rendering like [((R0 join R1) leftouter R2)]. *)

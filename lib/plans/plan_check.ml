@@ -31,6 +31,14 @@ let check g (plan : Plan.t) =
     | Plan.Scan i ->
         if not (Ns.equal p.set (Ns.singleton i)) then
           add (Wrong_set (Printf.sprintf "scan R%d has set %s" i (Ns.to_string p.set)))
+    | Plan.Compound c ->
+        (* the sub-plan lives over a finer graph; only the leaf's own
+           placement can be checked here *)
+        if not (Ns.equal p.set (Ns.singleton c.node)) then
+          add
+            (Wrong_set
+               (Printf.sprintf "compound leaf at R%d has set %s" c.node
+                  (Ns.to_string p.set)))
     | Plan.Join j ->
         let l = j.left.Plan.set and r = j.right.Plan.set in
         if not (Ns.disjoint l r) then

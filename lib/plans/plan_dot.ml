@@ -12,6 +12,10 @@ let to_dot ?(name = "plan") g plan =
     | Plan.Scan i ->
         pr "  n%d [shape=ellipse, label=\"%s\\ncard=%.0f\"];\n" id
           (G.relation g i).G.name p.card
+    | Plan.Compound c ->
+        pr "  n%d [shape=ellipse, label=\"%s\\ncard=%.0f cost=%.3g\"];\n" id
+          (String.concat "" (String.split_on_char '"' (Plan.to_string c.sub)))
+          p.card p.cost
     | Plan.Join j ->
         pr "  n%d [shape=box, label=\"%s\\ncard=%.3g cost=%.3g\\nedges=[%s]\"];\n"
           id

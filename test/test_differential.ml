@@ -1,0 +1,339 @@
+(* Cross-algorithm differential harness.
+
+   Every exact enumerator must agree on the optimal cost over random
+   graphs; IDP-k must reproduce the exact optimum at k >= n, stay
+   valid (Plan_check) and no better than the optimum below it; the
+   adaptive ladder must be exact when unbudgeted, deterministic under
+   a budget, and degrade to a non-exact tier on queries whose exact
+   enumeration blows the budget.  DPhyp's ccp_emitted counter is
+   pinned to the brute-force csg-cmp-pair count so the hot-path
+   indexes cannot silently change what is enumerated. *)
+
+module Ns = Nodeset.Node_set
+module G = Hypergraph.Graph
+module Opt = Core.Optimizer
+module D = Driver.Pipeline
+
+let check = Alcotest.(check bool)
+
+let cost_of name (r : Opt.result) =
+  match r.plan with
+  | Some p -> p.Plans.Plan.cost
+  | None -> Alcotest.failf "%s: no plan" name
+
+let close a b =
+  Float.abs (a -. b) <= 1e-9 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let random_simple seed =
+  Workloads.Random_graphs.simple ~seed ~n:(4 + (seed mod 4))
+    ~extra_edges:(seed mod 3) ()
+
+let random_hyper seed =
+  Workloads.Random_graphs.hyper ~seed ~n:(5 + (seed mod 3)) ~extra_edges:2
+    ~hyperedges:2 ~max_hypernode:3 ()
+
+(* The deterministic differential suite: named shapes, hyperedge split
+   families, and a band of random hypergraphs. *)
+let suite_graphs () =
+  [
+    ("chain7", Workloads.Shapes.chain 7);
+    ("cycle8", Workloads.Shapes.cycle 8);
+    ("star6", Workloads.Shapes.star 6);
+    ("clique6", Workloads.Shapes.clique 6);
+    ("grid2x4", Workloads.Shapes.grid ~rows:2 ~cols:4 ());
+  ]
+  @ List.mapi
+      (fun i g -> (Printf.sprintf "cycle6-split%d" i, g))
+      (Workloads.Splits.cycle_based 6)
+  @ List.init 10 (fun i ->
+        (Printf.sprintf "random-hyper-%d" i, random_hyper (i * 977)))
+
+(* ---------- exact algorithms agree ---------- *)
+
+let exact_algos = [ Opt.Dphyp; Opt.Dpsize; Opt.Dpsub; Opt.Topdown; Opt.Tdpart ]
+
+let agree_on name g algos =
+  let reference = cost_of name (Opt.run Opt.Dphyp g) in
+  List.for_all
+    (fun algo ->
+      let c = cost_of (name ^ "/" ^ Opt.name algo) (Opt.run algo g) in
+      close reference c)
+    algos
+
+let prop_exact_agree_simple =
+  QCheck.Test.make
+    ~name:"all exact algorithms (incl. dpccp) agree on random simple graphs"
+    ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g = random_simple seed in
+      agree_on "simple" g (Opt.Dpccp :: exact_algos))
+
+let prop_exact_agree_hyper =
+  QCheck.Test.make ~name:"all exact algorithms agree on random hypergraphs"
+    ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed -> agree_on "hyper" (random_hyper seed) exact_algos)
+
+(* ---------- IDP ---------- *)
+
+let prop_idp_exact_when_k_covers =
+  QCheck.Test.make ~name:"idp with k >= n reproduces the exact optimum"
+    ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g = random_hyper seed in
+      let exact = cost_of "dphyp" (Opt.run Opt.Dphyp g) in
+      let idp = cost_of "idp" (Opt.run ~k:(G.num_nodes g) Opt.Idp g) in
+      close exact idp)
+
+let prop_idp_valid_and_no_better =
+  QCheck.Test.make
+    ~name:"idp k=3 plans pass Plan_check and cost >= exact optimum" ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g = random_hyper seed in
+      let exact = cost_of "dphyp" (Opt.run Opt.Dphyp g) in
+      match (Opt.run ~k:3 Opt.Idp g).plan with
+      | None -> QCheck.Test.fail_report "idp k=3 found no plan"
+      | Some p ->
+          Plans.Plan_check.check g p = []
+          && Ns.equal p.Plans.Plan.set (G.all_nodes g)
+          && p.Plans.Plan.cost >= exact -. 1e-9 *. exact)
+
+(* ---------- ccp_emitted pinned to brute force ---------- *)
+
+let prop_ccp_counter_pinned =
+  QCheck.Test.make
+    ~name:"dphyp ccp_emitted = brute-force csg-cmp-pair count" ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g = random_hyper seed in
+      let r = Opt.run Opt.Dphyp g in
+      r.Opt.counters.Core.Counters.ccp_emitted
+      = Hypergraph.Csg_enum.count_csg_cmp_pairs g)
+
+(* ---------- adaptive ---------- *)
+
+let prop_adaptive_unlimited_exact =
+  QCheck.Test.make
+    ~name:"adaptive without budget = exact dphyp on random hypergraphs"
+    ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g = random_hyper seed in
+      let r = Opt.run Opt.Adaptive g in
+      r.Opt.tier = Some Core.Adaptive.Exact
+      && close (cost_of "adaptive" r) (cost_of "dphyp" (Opt.run Opt.Dphyp g)))
+
+let test_adaptive_suite_unlimited () =
+  List.iter
+    (fun (name, g) ->
+      let r = Opt.run Opt.Adaptive g in
+      check (name ^ ": tier exact") true (r.Opt.tier = Some Core.Adaptive.Exact);
+      Alcotest.(check (float 1e-6))
+        (name ^ ": adaptive cost = dphyp cost")
+        (cost_of name (Opt.run Opt.Dphyp g))
+        (cost_of name r))
+    (suite_graphs ())
+
+let test_adaptive_clique20_budget () =
+  let g = Workloads.Shapes.clique 20 in
+  let budget = 50_000 in
+  let r = Opt.run ~budget Opt.Adaptive g in
+  (match r.Opt.tier with
+  | None -> Alcotest.fail "adaptive reported no tier"
+  | Some Core.Adaptive.Exact ->
+      Alcotest.fail "exact cannot fit a 20-clique in a 50k-pair budget"
+  | Some _ -> ());
+  match r.Opt.plan with
+  | None -> Alcotest.fail "adaptive returned no plan"
+  | Some p ->
+      check "covers all 20 relations" true
+        (Ns.equal p.Plans.Plan.set (G.all_nodes g));
+      (match Plans.Plan_check.check g p with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "plan check: %s"
+            (String.concat "; "
+               (List.map Plans.Plan_check.issue_to_string issues)));
+      (* determinism: the budget is counted in pairs, not seconds, so a
+         rerun reproduces the tier, the work and the plan exactly *)
+      let r' = Opt.run ~budget Opt.Adaptive g in
+      check "same tier on rerun" true (r'.Opt.tier = r.Opt.tier);
+      Alcotest.(check int)
+        "same work on rerun"
+        r.Opt.counters.Core.Counters.pairs_considered
+        r'.Opt.counters.Core.Counters.pairs_considered;
+      Alcotest.(check string)
+        "same plan on rerun"
+        (Plans.Plan.to_string p)
+        (Plans.Plan.to_string (Option.get r'.Opt.plan))
+
+let test_adaptive_budget_one_falls_to_goo () =
+  (* a budget too small for any DP rung must still produce a plan *)
+  let g = Workloads.Shapes.clique 8 in
+  let r = Opt.run ~budget:1 Opt.Adaptive g in
+  check "greedy tier" true (r.Opt.tier = Some Core.Adaptive.Greedy);
+  match r.Opt.plan with
+  | None -> Alcotest.fail "goo fallback returned no plan"
+  | Some p ->
+      check "covers all" true (Ns.equal p.Plans.Plan.set (G.all_nodes g))
+
+(* ---------- budget on plain algorithms ---------- *)
+
+let test_budget_exhausted_raises () =
+  let g = Workloads.Shapes.clique 10 in
+  List.iter
+    (fun algo ->
+      Alcotest.check_raises
+        (Opt.name algo ^ " raises on exhausted budget")
+        Core.Counters.Budget_exhausted
+        (fun () -> ignore (Opt.run ~budget:50 algo g)))
+    [ Opt.Dphyp; Opt.Dpsize; Opt.Dpsub; Opt.Goo; Opt.Topdown; Opt.Tdpart;
+      Opt.Idp ]
+
+let test_budget_large_enough_is_silent () =
+  let g = Workloads.Shapes.chain 6 in
+  let unbudgeted = cost_of "dphyp" (Opt.run Opt.Dphyp g) in
+  let budgeted = cost_of "dphyp-budget" (Opt.run ~budget:1_000_000 Opt.Dphyp g) in
+  Alcotest.(check (float 1e-9)) "same cost under generous budget" unbudgeted
+    budgeted
+
+(* ---------- Invalid_argument contracts of Optimizer.run ---------- *)
+
+let test_dpccp_rejects_complex_edges () =
+  let g =
+    Workloads.Random_graphs.hyper ~seed:7 ~n:6 ~extra_edges:1 ~hyperedges:2
+      ~max_hypernode:3 ()
+  in
+  check "graph really has hyperedges" true (G.has_hyperedges g);
+  Alcotest.check_raises "dpccp refuses hypergraphs"
+    (Invalid_argument "Dpccp: graph has hyperedges; use Dphyp")
+    (fun () -> ignore (Opt.run Opt.Dpccp g))
+
+let test_filter_rejected_by_non_filter_algos () =
+  let g = Workloads.Shapes.chain 4 in
+  List.iter
+    (fun algo ->
+      Alcotest.check_raises
+        (Opt.name algo ^ " rejects filter")
+        (Invalid_argument
+           (Printf.sprintf
+              "Optimizer.run: %s does not support a validity filter"
+              (Opt.name algo)))
+        (fun () -> ignore (Opt.run ~filter:(fun _ _ _ -> true) algo g)))
+    (List.filter (fun a -> not (Opt.supports_filter a)) Opt.all)
+
+(* ---------- non-inner regression across conflict modes ---------- *)
+
+let modes =
+  [
+    ("tes-literal", D.Tes_literal);
+    ("tes-conservative", D.Tes_conservative);
+    ("tes-generate-and-test", D.Tes_generate_and_test);
+    ("cdc", D.Cdc);
+  ]
+
+let test_noninner_all_modes () =
+  let trees =
+    [
+      ("star-antijoins", Workloads.Noninner.star_antijoins ~n_rel:6 ~k:3 ());
+      ("cycle-outerjoins", Workloads.Noninner.cycle_outerjoins ~n_rel:6 ~k:2 ());
+    ]
+  in
+  List.iter
+    (fun (tname, tree) ->
+      List.iter
+        (fun (mname, mode) ->
+          match D.optimize_tree ~mode tree with
+          | Error m -> Alcotest.failf "%s under %s: %s" tname mname m
+          | Ok r ->
+              (match Plans.Plan_check.check r.D.graph r.D.plan with
+              | [] -> ()
+              | issues ->
+                  Alcotest.failf "%s under %s: %s" tname mname
+                    (String.concat "; "
+                       (List.map Plans.Plan_check.issue_to_string issues)));
+              (match D.verify_on_data r with
+              | Ok _ -> ()
+              | Error m ->
+                  Alcotest.failf "%s under %s: bags differ: %s" tname mname m))
+        modes)
+    trees
+
+let test_adaptive_through_pipeline () =
+  (* filter-free modes accept the adaptive algorithm and report a
+     tier; filter modes refuse it with a readable error *)
+  let tree = Workloads.Noninner.star_antijoins ~n_rel:6 ~k:2 () in
+  (match D.optimize_tree ~algo:Opt.Adaptive tree with
+  | Error m -> Alcotest.failf "adaptive via pipeline: %s" m
+  | Ok r -> (
+      check "tier reported" true (r.D.tier <> None);
+      match D.verify_on_data r with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "adaptive plan execution: %s" m));
+  match D.optimize_tree ~mode:D.Cdc ~algo:Opt.Adaptive tree with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "cdc mode must refuse a filterless algorithm"
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_pipeline_budget_error () =
+  let g = Workloads.Shapes.clique 12 in
+  match D.optimize_graph ~budget:100 g with
+  | Error m -> check "mentions the budget" true (contains_sub m "budget")
+  | Ok _ -> Alcotest.fail "a 100-pair budget cannot optimize a 12-clique"
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "differential"
+    [
+      ( "exact-agreement",
+        [
+          q prop_exact_agree_simple;
+          q prop_exact_agree_hyper;
+          q prop_ccp_counter_pinned;
+        ] );
+      ( "idp",
+        [
+          q prop_idp_exact_when_k_covers;
+          q prop_idp_valid_and_no_better;
+        ] );
+      ( "adaptive",
+        [
+          q prop_adaptive_unlimited_exact;
+          Alcotest.test_case "suite graphs, unlimited budget" `Quick
+            test_adaptive_suite_unlimited;
+          Alcotest.test_case "clique-20 under 50k budget" `Quick
+            test_adaptive_clique20_budget;
+          Alcotest.test_case "budget 1 falls to goo" `Quick
+            test_adaptive_budget_one_falls_to_goo;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "plain algorithms raise" `Quick
+            test_budget_exhausted_raises;
+          Alcotest.test_case "generous budget is invisible" `Quick
+            test_budget_large_enough_is_silent;
+        ] );
+      ( "contracts",
+        [
+          Alcotest.test_case "dpccp rejects complex edges" `Quick
+            test_dpccp_rejects_complex_edges;
+          Alcotest.test_case "filter rejected by non-filter algorithms" `Quick
+            test_filter_rejected_by_non_filter_algos;
+        ] );
+      ( "non-inner",
+        [
+          Alcotest.test_case "all conflict modes execute correctly" `Quick
+            test_noninner_all_modes;
+          Alcotest.test_case "adaptive through the pipeline" `Quick
+            test_adaptive_through_pipeline;
+          Alcotest.test_case "budget exhaustion is an Error" `Quick
+            test_pipeline_budget_error;
+        ] );
+    ]

@@ -14,4 +14,10 @@ dune exec bench/main.exe -- --quick --json "$out/bench_smoke.json" \
   table2_star4 fig6a_star8
 grep -q '"schema": "bench_dphyp/v1"' "$out/bench_smoke.json"
 grep -q '"summary"' "$out/bench_smoke.json"
+# Adaptive smoke point: clique-20 under a 50k-pair budget must finish
+# and must answer on a fallback tier, never "exact".
+dune exec bench/main.exe -- --quick --adaptive-json "$out/bench_adaptive.json"
+grep -q '"schema": "bench_adaptive/v1"' "$out/bench_adaptive.json"
+grep '"clique20_budget50k_tier"' "$out/bench_adaptive.json" \
+  | grep -qv '"exact"'
 echo "bench smoke OK"
