@@ -1,16 +1,24 @@
 (* Shared benchmark plumbing: adaptive wall-clock timing and table
    rendering.  Times below ~50 ms are measured by repetition; longer
    runs are measured once (their variance is irrelevant next to the
-   orders-of-magnitude differences the paper reports). *)
+   orders-of-magnitude differences the paper reports).  All timing
+   goes through Obs.Span — the same clock the pipeline profiles
+   report from — so bench numbers and obs_profile/v1 spans are
+   directly comparable. *)
 
-let now () = Unix.gettimeofday ()
+let now = Obs.Span.now
 
-(* Adaptive timing: one trial run; if fast, repeat until ~80 ms of
-   total work and average. Returns (milliseconds, result of last run). *)
+(* Adaptive timing: one trial run (measured as an Obs span); if fast,
+   repeat until ~80 ms of total work and average.  Returns
+   (milliseconds, result of last run). *)
 let time_ms f =
-  let t0 = now () in
-  let r = ref (f ()) in
-  let first = now () -. t0 in
+  let ctx = Obs.Span.create () in
+  let r = ref (Obs.Span.with_ ctx "trial" (fun _ -> f ())) in
+  let first =
+    match Obs.Span.spans ctx with
+    | [ s ] -> s.Obs.Sink.dur_s
+    | _ -> assert false
+  in
   if first > 0.05 then (first *. 1000.0, !r)
   else begin
     let reps = max 3 (int_of_float (0.08 /. Float.max 1e-6 first)) in

@@ -16,6 +16,10 @@
                                               budgeted adaptive ladder points
                                               (tier, time, budget spent), as
                                               JSON (see bench/adaptive_bench.ml)
+     dune exec bench/main.exe -- --profile-json FILE
+                                              per-experiment pipeline profiles
+                                              (obs_profile/v1 spans + counters,
+                                              see bench/profile_bench.ml)
 
    Experiment names: table1 fig5a fig5b table2 fig6a fig6b fig7 fig8a
    fig8b ccp xchain xclique xgen xgoo xtopdown xtpch xmem xcdc xqual
@@ -153,17 +157,23 @@ let () =
     | _ :: rest -> adaptive_json rest
     | [] -> None
   in
+  let rec profile_json = function
+    | "--profile-json" :: path :: _ -> Some path
+    | _ :: rest -> profile_json rest
+    | [] -> None
+  in
   let rec positional = function
     | "--csv" :: _ :: rest | "--json" :: _ :: rest
-    | "--adaptive-json" :: _ :: rest ->
+    | "--adaptive-json" :: _ :: rest | "--profile-json" :: _ :: rest ->
         positional rest
     | a :: rest when String.length a > 0 && a.[0] <> '-' -> a :: positional rest
     | _ :: rest -> positional rest
     | [] -> []
   in
   let names = positional args in
-  match (json args, adaptive_json args) with
-  | Some path, _ -> Json_bench.run ~quick ~path names
-  | None, Some path -> Adaptive_bench.write_json ~quick ~path ()
-  | None, None ->
+  match (json args, adaptive_json args, profile_json args) with
+  | Some path, _, _ -> Json_bench.run ~quick ~path names
+  | None, Some path, _ -> Adaptive_bench.write_json ~quick ~path ()
+  | None, None, Some path -> Profile_bench.write_json ~quick ~path ()
+  | None, None, None ->
       if bechamel then run_bechamel () else run_experiments ~quick names

@@ -2,10 +2,12 @@
 
    Subcommands:
      optimize   parse a SQL query, run conflict analysis + an optimizer
+     explain    optimize a SQL query and print the per-phase profile
      shape      generate a benchmark graph and optimize it
      ccp        csg-cmp-pair counts (DPhyp vs. brute force)
      dot        Graphviz export of a query or shape hypergraph
-     trace      csg-cmp-pair emission trace (the paper's Figure 3)  *)
+     trace      csg-cmp-pair emission trace (the paper's Figure 3);
+                execution span tracing is --trace-out, not this  *)
 
 module Ns = Nodeset.Node_set
 module G = Hypergraph.Graph
@@ -56,6 +58,40 @@ let model_arg =
 let conservative_arg =
   let doc = "Use the conservative conflict-detection gate (see DESIGN.md)." in
   Arg.(value & flag & info [ "conservative" ] ~doc)
+
+let profile_arg =
+  let doc =
+    "Print a per-phase observability table after the run: wall-clock ms, \
+     minor-heap words, and the enumeration counters each phase recorded."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write the execution span trace of this run to $(docv) as Chrome \
+     trace-event JSON (open in Perfetto or chrome://tracing).  Not to be \
+     confused with the $(b,trace) subcommand, which prints DPhyp's \
+     csg-cmp-pair emission order (the paper's Figure 3)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* One collector per observed run; [obs_ctx] decides whether the run
+   is observed at all, [report_obs] renders the table / trace file. *)
+let obs_ctx profile trace_out =
+  if profile || trace_out <> None then Some (Obs.Span.create ()) else None
+
+let report_obs obs profile trace_out (r : Core.Optimizer.result) =
+  match obs with
+  | None -> ()
+  | Some ctx ->
+      let p = Core.Optimizer.profile ctx r in
+      (match trace_out with
+      | Some path ->
+          Obs.Sink.write_chrome path (Obs.Span.spans ctx);
+          Format.printf "span trace written to %s (open in Perfetto)@." path
+      | None -> ());
+      if profile then Format.printf "@.%a" Obs.Metrics.pp_table p
 
 let shape_arg =
   let doc =
@@ -112,8 +148,8 @@ let timed f =
 
 (* Non-adaptive algorithms let Budget_exhausted escape; turn it into a
    CLI error instead of a backtrace. *)
-let timed_run ~model ?budget ~k algo g =
-  match timed (fun () -> Core.Optimizer.run ~model ?budget ~k algo g) with
+let timed_run ?obs ~model ?budget ~k algo g =
+  match timed (fun () -> Core.Optimizer.run ?obs ~model ?budget ~k algo g) with
   | r -> Ok r
   | exception Core.Counters.Budget_exhausted ->
       Error
@@ -141,7 +177,8 @@ let read_sql s =
   else s
 
 let optimize_cmd =
-  let run sql algo model budget k conservative verbose dot_plan =
+  let run sql algo model budget k conservative verbose dot_plan profile
+      trace_out =
     match Sqlfront.Binder.parse_and_bind (read_sql sql) with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
@@ -153,12 +190,14 @@ let optimize_cmd =
         if verbose then Format.printf "%a@." Conflicts.Analysis.pp analysis;
         let g = Conflicts.Derive.hypergraph analysis in
         if verbose then Format.printf "%a@." G.pp g;
-        match timed_run ~model ?budget ~k algo g with
+        let obs = obs_ctx profile trace_out in
+        match timed_run ?obs ~model ?budget ~k algo g with
         | Error msg ->
             Format.eprintf "error: %s@." msg;
             1
         | Ok (r, elapsed) ->
             report_result g r elapsed;
+            report_obs obs profile trace_out r;
             (match dot_plan, r.Core.Optimizer.plan with
             | Some path, Some p ->
                 Plans.Plan_dot.write_file path g p;
@@ -176,37 +215,81 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a SQL query")
     Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
-          $ conservative_arg $ verbose $ dot_plan)
+          $ conservative_arg $ verbose $ dot_plan $ profile_arg
+          $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explain: full-pipeline profile of one SQL query                     *)
+
+let explain_cmd =
+  let run sql algo model budget k conservative trace_out =
+    let ctx = Obs.Span.create () in
+    let mode =
+      if conservative then Driver.Pipeline.Tes_conservative
+      else Driver.Pipeline.Tes_literal
+    in
+    match
+      Driver.Pipeline.optimize_sql ~obs:ctx ~mode ~algo ~model ?budget ~k
+        (read_sql sql)
+    with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok r ->
+        Format.printf "plan: %a@.cost: %.4g   est. cardinality: %.4g@.@."
+          Plans.Plan.pp r.Driver.Pipeline.plan r.Driver.Pipeline.plan.cost
+          r.Driver.Pipeline.plan.card;
+        (match r.Driver.Pipeline.profile with
+        | Some p -> Format.printf "%a" Obs.Metrics.pp_table p
+        | None -> ());
+        (match trace_out with
+        | Some path ->
+            Obs.Sink.write_chrome path (Obs.Span.spans ctx);
+            Format.printf "span trace written to %s (open in Perfetto)@." path
+        | None -> ());
+        0
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Optimize a SQL query and print the per-phase profile: one row per \
+          pipeline phase (parse, simplify, conflict analysis, hypergraph \
+          derivation, enumeration with its tier/round sub-spans) with \
+          wall-clock ms, minor-heap allocation and enumeration counters.")
+    Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
+          $ conservative_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shape: benchmark graphs                                             *)
 
 let shape_cmd =
-  let run shape n splits algo model budget k =
+  let run shape n splits algo model budget k profile trace_out =
     match graph_of_shape shape n splits with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
         1
     | Ok g -> (
         Format.printf "%a@." G.pp g;
-        match timed_run ~model ?budget ~k algo g with
+        let obs = obs_ctx profile trace_out in
+        match timed_run ?obs ~model ?budget ~k algo g with
         | Error msg ->
             Format.eprintf "error: %s@." msg;
             1
         | Ok (r, elapsed) ->
             report_result g r elapsed;
+            report_obs obs profile trace_out r;
             0)
   in
   Cmd.v
     (Cmd.info "shape" ~doc:"Generate a benchmark graph and optimize it")
     Term.(const run $ shape_arg $ n_arg $ splits_arg $ algo_arg $ model_arg
-          $ budget_arg $ k_arg)
+          $ budget_arg $ k_arg $ profile_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph: save / load / optimize serialized hypergraphs                *)
 
 let graph_cmd =
-  let run input algo model budget k save =
+  let run input algo model budget k save profile trace_out =
     let g_result =
       if String.length input > 0 && input.[0] = '@' then
         Hypergraph.Serialize.read_file
@@ -227,12 +310,14 @@ let graph_cmd =
             Format.printf "wrote %s@." path
         | None -> ());
         Format.printf "%a@." G.pp g;
-        (match timed_run ~model ?budget ~k algo g with
+        let obs = obs_ctx profile trace_out in
+        (match timed_run ?obs ~model ?budget ~k algo g with
         | Error msg ->
             Format.eprintf "error: %s@." msg;
             1
         | Ok (r, elapsed) ->
             report_result g r elapsed;
+            report_obs obs profile trace_out r;
             0)
   in
   let input =
@@ -248,7 +333,8 @@ let graph_cmd =
   Cmd.v
     (Cmd.info "graph" ~doc:"Optimize a serialized hypergraph (see \
                             Hypergraph.Serialize for the format)")
-    Term.(const run $ input $ algo_arg $ model_arg $ budget_arg $ k_arg $ save)
+    Term.(const run $ input $ algo_arg $ model_arg $ budget_arg $ k_arg $ save
+          $ profile_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccp: counts                                                         *)
@@ -323,7 +409,13 @@ let trace_cmd =
         0
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Print DPhyp's csg-cmp-pair emission trace")
+    (Cmd.info "trace"
+       ~doc:
+         "Print DPhyp's csg-cmp-pair emission trace — the enumeration-order \
+          listing of the paper's Figure 3.  This is about $(i,which pairs) \
+          the algorithm emits, not about execution timing; for a wall-clock \
+          span trace of a run use the $(b,--trace-out) flag of \
+          $(b,optimize) / $(b,explain) / $(b,shape) / $(b,graph) instead.")
     Term.(const run $ shape_arg $ n_arg $ splits_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -439,8 +531,8 @@ let main =
   in
   Cmd.group info
     [
-      optimize_cmd; run_cmd; shape_cmd; graph_cmd; ccp_cmd; dot_cmd;
-      trace_cmd; tpch_cmd;
+      optimize_cmd; explain_cmd; run_cmd; shape_cmd; graph_cmd; ccp_cmd;
+      dot_cmd; trace_cmd; tpch_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -25,7 +25,8 @@ let default_ks = [ 10; 7; 5; 3 ]
    b pairs") and deterministic.  The final GOO rung is deliberately
    unbudgeted — it is O(n^2 · n) pairs and must always produce the
    answer of last resort. *)
-let solve ?(model = Costing.Cost_model.c_out) ?budget ?(ks = default_ks) g =
+let solve ?obs ?(model = Costing.Cost_model.c_out) ?budget ?(ks = default_ks)
+    g =
   let attempts = ref [] in
   let record tier completed (c : Counters.t) =
     attempts := { tier; completed; pairs = c.Counters.pairs_considered } :: !attempts
@@ -34,16 +35,35 @@ let solve ?(model = Costing.Cost_model.c_out) ?budget ?(ks = default_ks) g =
     record tier true counters;
     { plan; tier; counters; dp_entries; attempts = List.rev !attempts }
   in
+  (* One span per ladder rung.  The pairs attribute is attached in a
+     [finally] so an attempt aborted by [Budget_exhausted] still
+     reports what it cost before the exception unwinds. *)
+  let tier_span tier (c : Counters.t) f =
+    match obs with
+    | None -> f ()
+    | Some ctx ->
+        Obs.Span.with_ ctx ("tier:" ^ tier_name tier) (fun sp ->
+            Fun.protect
+              ~finally:(fun () ->
+                Obs.Span.set sp "pairs"
+                  (Obs.Span.Int c.Counters.pairs_considered))
+              f)
+  in
   let n = G.num_nodes g in
   let exact_counters = Counters.create ?budget () in
-  match Dphyp.solve_with_table ~model ~counters:exact_counters g with
+  match
+    tier_span Exact exact_counters (fun () ->
+        Dphyp.solve_with_table ~model ~counters:exact_counters g)
+  with
   | dp, plan -> finish Exact exact_counters (Plans.Dp_table.size dp) plan
   | exception Counters.Budget_exhausted ->
       record Exact false exact_counters;
       let rec descend = function
         | [] ->
             let counters = Counters.create () in
-            let plan = Goo.solve ~model ~counters g in
+            let plan =
+              tier_span Greedy counters (fun () -> Goo.solve ~model ~counters g)
+            in
             finish Greedy counters 0 plan
         | k :: rest when k >= n || k < 2 ->
             (* k >= n would just repeat the exact run that already
@@ -51,7 +71,10 @@ let solve ?(model = Costing.Cost_model.c_out) ?budget ?(ks = default_ks) g =
             descend rest
         | k :: rest -> (
             let counters = Counters.create ?budget () in
-            match Idp.solve ~model ~counters ~k g with
+            match
+              tier_span (Idp_k k) counters (fun () ->
+                  Idp.solve ?obs ~model ~counters ~k g)
+            with
             | Some plan -> finish (Idp_k k) counters 0 (Some plan)
             | None ->
                 record (Idp_k k) true counters;

@@ -50,12 +50,16 @@ val default_ks : int list
 (** The shrinking block-size schedule [[10; 7; 5; 3]]. *)
 
 val solve :
+  ?obs:Obs.Span.ctx ->
   ?model:Costing.Cost_model.t ->
   ?budget:int ->
   ?ks:int list ->
   Hypergraph.Graph.t ->
   outcome
-(** Run the ladder.  Without [?budget] the exact tier always completes
+(** Run the ladder.  [?obs] records one ["tier:<name>"] span per
+    attempted rung (with the pairs it consumed, and a ["raised"] tag
+    when the budget cut it short), nesting the per-round IDP spans
+    underneath.  Without [?budget] the exact tier always completes
     and the outcome equals plain DPhyp (tier {!Exact}).  Schedule
     entries with [k >= n] or [k < 2] are skipped.  Never raises
     {!Counters.Budget_exhausted}. *)

@@ -27,6 +27,10 @@ let create ?budget () =
 
 let budget t = if t.budget_limit = max_int then None else Some t.budget_limit
 
+let remaining t =
+  if t.budget_limit = max_int then None
+  else Some (max 0 (t.budget_limit - t.pairs_considered))
+
 let tick_pair t =
   t.pairs_considered <- t.pairs_considered + 1;
   if t.pairs_considered > t.budget_limit then raise Budget_exhausted
@@ -43,5 +47,7 @@ let pp ppf t =
     "pairs=%d ccp=%d cost-calls=%d filtered=%d neighborhoods=%d"
     t.pairs_considered t.ccp_emitted t.cost_calls t.filter_rejected
     t.neighborhood_calls;
-  if t.budget_limit <> max_int then
-    Format.fprintf ppf " budget=%d" t.budget_limit
+  if t.budget_limit = max_int then Format.fprintf ppf " budget=unlimited"
+  else
+    Format.fprintf ppf " budget=%d remaining=%d" t.budget_limit
+      (max 0 (t.budget_limit - t.pairs_considered))

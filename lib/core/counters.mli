@@ -46,6 +46,10 @@ val create : ?budget:int -> unit -> t
 val budget : t -> int option
 (** The budget the counters were created with, if any. *)
 
+val remaining : t -> int option
+(** Headroom left under the budget ([limit - pairs_considered],
+    floored at 0); [None] when unlimited. *)
+
 val tick_pair : t -> unit
 (** Charge one considered pair.  @raise Budget_exhausted when the
     budget is exceeded. *)
@@ -54,3 +58,5 @@ val reset : t -> unit
 (** Zero all counters.  The budget limit is kept. *)
 
 val pp : Format.formatter -> t -> unit
+(** Prints every counter plus the budget context: [budget=unlimited],
+    or the limit together with the remaining headroom. *)

@@ -85,9 +85,10 @@ let pick_entry g dp block =
   in
   at_size (Ns.cardinal block)
 
-let solve ?(model = Costing.Cost_model.c_out) ?(counters = Counters.create ())
-    ?(k = default_k) g =
+let solve ?obs ?(model = Costing.Cost_model.c_out)
+    ?(counters = Counters.create ()) ?(k = default_k) g =
   if k < 2 then invalid_arg "Idp.solve: k must be at least 2";
+  let round_no = ref 0 in
   (* [state = Some (emap, base)] after the first contraction: [emap]
      translates current edge ids to root edge ids, [base.(v)] is the
      root-graph plan the current node [v] stands for. *)
@@ -98,59 +99,78 @@ let solve ?(model = Costing.Cost_model.c_out) ?(counters = Counters.create ())
      [n <= kr], where the round is plain exact DP and always decides. *)
   let rec round g state kr =
     let n = G.num_nodes g in
-    let leaf =
-      match state with
-      | None -> fun v -> Plans.Plan.scan g v
-      | Some (_, base) -> fun v -> Plans.Plan.materialized g v base.(v)
-    in
-    let flatten p =
-      match state with
-      | None -> p
-      | Some (emap, base) ->
-          let rec go (p : Plans.Plan.t) =
-            match p.tree with
-            | Plans.Plan.Scan v -> base.(v)
-            | Plans.Plan.Compound c -> c.sub
-            | Plans.Plan.Join j ->
-                Plans.Plan.join model ~op:j.op
-                  ~edge_ids:(List.map (fun id -> emap.(id)) j.edge_ids)
-                  ~sel:j.sel (go j.left) (go j.right)
-          in
-          go p
-    in
-    if n <= kr then begin
-      let _, plan =
-        Dphyp.solve_subset ~model ~leaf ~counters ~subset:(G.all_nodes g) g
+    let step sp =
+      let leaf =
+        match state with
+        | None -> fun v -> Plans.Plan.scan g v
+        | Some (_, base) -> fun v -> Plans.Plan.materialized g v base.(v)
       in
-      Option.map flatten plan
-    end
-    else begin
-      let block = choose_block g kr in
-      let dp, _ = Dphyp.solve_subset ~model ~leaf ~counters ~subset:block g in
-      match pick_entry g dp block with
-      | None -> round g state (kr + 1)
-      | Some bp ->
-          let broot = flatten bp in
-          let { G.cgraph; node_of; edge_of } =
-            G.contract g ~block:bp.set ~card:broot.card ()
-          in
-          let emap' =
-            Array.map
-              (fun old_id ->
-                match state with
-                | Some (emap, _) -> emap.(old_id)
-                | None -> old_id)
-              edge_of
-          in
-          let base' = Array.make (G.num_nodes cgraph) broot in
-          for v = 0 to n - 1 do
-            if not (Ns.mem v bp.set) then
-              base'.(node_of.(v)) <-
-                (match state with
-                | Some (_, base) -> base.(v)
-                | None -> Plans.Plan.scan g v)
-          done;
-          round cgraph (Some (emap', base')) k
-    end
+      let flatten p =
+        match state with
+        | None -> p
+        | Some (emap, base) ->
+            let rec go (p : Plans.Plan.t) =
+              match p.tree with
+              | Plans.Plan.Scan v -> base.(v)
+              | Plans.Plan.Compound c -> c.sub
+              | Plans.Plan.Join j ->
+                  Plans.Plan.join model ~op:j.op
+                    ~edge_ids:(List.map (fun id -> emap.(id)) j.edge_ids)
+                    ~sel:j.sel (go j.left) (go j.right)
+            in
+            go p
+      in
+      if n <= kr then begin
+        let _, plan =
+          Dphyp.solve_subset ~model ~leaf ~counters ~subset:(G.all_nodes g) g
+        in
+        Obs.Span.set_opt sp "final" (Obs.Span.Bool true);
+        `Done (Option.map flatten plan)
+      end
+      else begin
+        let block = choose_block g kr in
+        let dp, _ = Dphyp.solve_subset ~model ~leaf ~counters ~subset:block g in
+        match pick_entry g dp block with
+        | None ->
+            Obs.Span.set_opt sp "widened" (Obs.Span.Bool true);
+            `Widen (kr + 1)
+        | Some bp ->
+            let broot = flatten bp in
+            let { G.cgraph; node_of; edge_of } =
+              G.contract g ~block:bp.set ~card:broot.card ()
+            in
+            let emap' =
+              Array.map
+                (fun old_id ->
+                  match state with
+                  | Some (emap, _) -> emap.(old_id)
+                  | None -> old_id)
+                edge_of
+            in
+            let base' = Array.make (G.num_nodes cgraph) broot in
+            for v = 0 to n - 1 do
+              if not (Ns.mem v bp.set) then
+                base'.(node_of.(v)) <-
+                  (match state with
+                  | Some (_, base) -> base.(v)
+                  | None -> Plans.Plan.scan g v)
+            done;
+            `Next (cgraph, Some (emap', base'))
+      end
+    in
+    incr round_no;
+    match
+      Obs.Span.with_opt obs "idp-round"
+        ~attrs:
+          [
+            ("round", Obs.Span.Int !round_no);
+            ("nodes", Obs.Span.Int n);
+            ("k", Obs.Span.Int kr);
+          ]
+        step
+    with
+    | `Done plan -> plan
+    | `Widen kr' -> round g state kr'
+    | `Next (g', state') -> round g' state' k
   in
   round g None k

@@ -21,12 +21,15 @@ val default_k : int
 (** Block size used when [?k] is omitted (7). *)
 
 val solve :
+  ?obs:Obs.Span.ctx ->
   ?model:Costing.Cost_model.t ->
   ?counters:Counters.t ->
   ?k:int ->
   Hypergraph.Graph.t ->
   Plans.Plan.t option
-(** Optimize with IDP-[k].  A round whose block holds no contractible
+(** Optimize with IDP-[k].  [?obs] records one ["idp-round"] span per
+    round (attributes: round number, remaining nodes, effective block
+    size, whether the round widened or finished).  A round whose block holds no contractible
     connected subset (complex hyperedges can straddle every candidate)
     widens its block size by one and retries, degenerating to plain
     exact DP in the worst case rather than failing; [None] is

@@ -39,9 +39,13 @@ type result = {
   tier : Adaptive.tier option;
       (** which rung of the adaptive ladder produced the plan;
           [None] for every non-adaptive algorithm *)
+  attempts : Adaptive.attempt list;
+      (** the full tier-ladder history; [[]] for every non-adaptive
+          algorithm *)
 }
 
 val run :
+  ?obs:Obs.Span.ctx ->
   ?model:Costing.Cost_model.t ->
   ?filter:Emit.filter ->
   ?budget:int ->
@@ -50,6 +54,12 @@ val run :
   Hypergraph.Graph.t ->
   result
 (** Run one algorithm on one query graph.
+
+    [?obs] records an ["enumerate:<algo>"] span (annotated with the
+    final counters and DP-table occupancy) plus the per-tier and
+    per-IDP-round spans of the algorithms that have them; omitting it
+    runs the completely un-instrumented path, so enumeration work and
+    counters are byte-identical with and without observability.
 
     [?budget] caps the considered pairs ({!Counters.tick_pair}).  For
     [Adaptive] it drives the fallback ladder and never escapes; for
@@ -61,3 +71,12 @@ val run :
     @raise Invalid_argument when [Dpccp] is given a hypergraph with
     non-simple edges, or a [filter] is passed to an algorithm that
     does not support one. *)
+
+val counters_snapshot : Counters.t -> Obs.Metrics.counters
+(** Freeze the counters (including budget limit and remaining
+    headroom) into the plain-int record profiles carry. *)
+
+val profile : Obs.Span.ctx -> result -> Obs.Metrics.profile
+(** Assemble the structured profile of an observed run: the
+    collector's spans and elapsed time, the counter snapshot, the
+    DP-table occupancy and the tier-ladder attempts. *)

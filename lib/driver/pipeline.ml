@@ -12,33 +12,49 @@ type result = {
   plan : Plans.Plan.t;
   counters : Core.Counters.t;
   tier : Core.Adaptive.tier option;
+  profile : Obs.Metrics.profile option;
 }
 
 let budget_error =
   "work budget exhausted before a plan was found (use the adaptive algorithm \
    for graceful degradation)"
 
-let optimize_tree ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp) ?model
-    ?budget ?k ?cards ?sels tree =
+let optimize_tree ?obs ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp)
+    ?model ?budget ?k ?cards ?sels tree =
   match Ot.validate tree with
   | Error e -> Error ("invalid operator tree: " ^ Ot.error_to_string e)
   | Ok () -> (
-      let tree = Conflicts.Simplify.simplify tree in
+      let tree =
+        Obs.Span.with_opt obs "simplify" (fun _ ->
+            Conflicts.Simplify.simplify tree)
+      in
+      let analyzed f = Obs.Span.with_opt obs "conflict-analysis" (fun _ -> f ())
+      and derived f =
+        Obs.Span.with_opt obs "hypergraph-derive" (fun _ -> f ())
+      in
       let graph, filter =
         match mode with
         | Tes_literal ->
-            let a = Conflicts.Analysis.analyze tree in
-            (Conflicts.Derive.hypergraph ?cards ?sels a, None)
+            let a = analyzed (fun () -> Conflicts.Analysis.analyze tree) in
+            (derived (fun () -> Conflicts.Derive.hypergraph ?cards ?sels a), None)
         | Tes_conservative ->
-            let a = Conflicts.Analysis.analyze ~conservative:true tree in
-            (Conflicts.Derive.hypergraph ?cards ?sels a, None)
+            let a =
+              analyzed (fun () ->
+                  Conflicts.Analysis.analyze ~conservative:true tree)
+            in
+            (derived (fun () -> Conflicts.Derive.hypergraph ?cards ?sels a), None)
         | Tes_generate_and_test ->
-            let a = Conflicts.Analysis.analyze ~conservative:true tree in
-            let g, f = Conflicts.Derive.ses_graph ?cards ?sels a in
+            let a =
+              analyzed (fun () ->
+                  Conflicts.Analysis.analyze ~conservative:true tree)
+            in
+            let g, f =
+              derived (fun () -> Conflicts.Derive.ses_graph ?cards ?sels a)
+            in
             (g, Some f)
         | Cdc ->
-            let a = Conflicts.Cdc.analyze tree in
-            let g, f = Conflicts.Cdc.derive ?cards ?sels a in
+            let a = analyzed (fun () -> Conflicts.Cdc.analyze tree) in
+            let g, f = derived (fun () -> Conflicts.Cdc.derive ?cards ?sels a) in
             (g, Some f)
       in
       match filter, Core.Optimizer.supports_filter algo with
@@ -49,22 +65,44 @@ let optimize_tree ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp) ?model
                 support"
                (Core.Optimizer.name algo))
       | _ -> (
-          match Core.Optimizer.run ?model ?filter ?budget ?k algo graph with
-          | { plan = Some plan; counters; tier; _ } ->
-              Ok { tree; graph; plan; counters; tier }
+          match Core.Optimizer.run ?obs ?model ?filter ?budget ?k algo graph with
+          | { plan = Some plan; counters; tier; _ } as r ->
+              Ok
+                {
+                  tree;
+                  graph;
+                  plan;
+                  counters;
+                  tier;
+                  profile =
+                    Option.map (fun ctx -> Core.Optimizer.profile ctx r) obs;
+                }
           | { plan = None; _ } -> Error "no valid plan found"
           | exception Invalid_argument m -> Error m
           | exception Core.Counters.Budget_exhausted -> Error budget_error))
 
-let optimize_sql ?mode ?algo ?model ?budget ?k ?cards ?sels sql =
-  match Sqlfront.Binder.parse_and_bind sql with
+let optimize_sql ?obs ?mode ?algo ?model ?budget ?k ?cards ?sels sql =
+  match Obs.Span.with_opt obs "parse" (fun _ -> Sqlfront.Binder.parse_and_bind sql) with
   | Error m -> Error m
-  | Ok bound -> optimize_tree ?mode ?algo ?model ?budget ?k ?cards ?sels bound.tree
+  | Ok bound ->
+      optimize_tree ?obs ?mode ?algo ?model ?budget ?k ?cards ?sels bound.tree
 
-let optimize_graph ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k graph =
-  match Core.Optimizer.run ?model ?budget ?k algo graph with
-  | { plan = Some plan; counters; tier; _ } ->
-      Ok { tree = Plans.Plan.to_optree graph plan; graph; plan; counters; tier }
+let optimize_graph ?obs ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k graph =
+  match Core.Optimizer.run ?obs ?model ?budget ?k algo graph with
+  | { plan = Some plan; counters; tier; _ } as r ->
+      let tree =
+        Obs.Span.with_opt obs "plan-emit" (fun _ ->
+            Plans.Plan.to_optree graph plan)
+      in
+      Ok
+        {
+          tree;
+          graph;
+          plan;
+          counters;
+          tier;
+          profile = Option.map (fun ctx -> Core.Optimizer.profile ctx r) obs;
+        }
   | { plan = None; _ } -> Error "no valid plan found"
   | exception Invalid_argument m -> Error m
   | exception Core.Counters.Budget_exhausted -> Error budget_error

@@ -26,9 +26,13 @@ type result = {
   tier : Core.Adaptive.tier option;
       (** which adaptive rung produced the plan; [None] unless
           [algo = Adaptive] *)
+  profile : Obs.Metrics.profile option;
+      (** structured per-phase profile (spans, counter snapshot,
+          tier attempts); [None] unless [?obs] was passed *)
 }
 
 val optimize_tree :
+  ?obs:Obs.Span.ctx ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
@@ -40,13 +44,18 @@ val optimize_tree :
   (result, string) Result.t
 (** Simplify, run conflict analysis under [mode] (default
     {!Tes_literal}), derive the hypergraph, optimize with [algo]
-    (default DPhyp).  [?budget] and [?k] are forwarded to
+    (default DPhyp).  [?obs] records one span per pipeline phase
+    ([simplify], [conflict-analysis], [hypergraph-derive],
+    [enumerate:<algo>] plus the per-tier / per-round spans inside it)
+    and fills the result's [profile]; omitting it runs the completely
+    un-instrumented path.  [?budget] and [?k] are forwarded to
     {!Core.Optimizer.run}; a non-adaptive algorithm that blows the
     budget yields [Error] rather than an exception.  [Error] carries
     a human-readable reason (invalid tree, no plan, algorithm/filter
     mismatch, budget exhausted). *)
 
 val optimize_sql :
+  ?obs:Obs.Span.ctx ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
@@ -56,9 +65,10 @@ val optimize_sql :
   ?sels:(int -> float) ->
   string ->
   (result, string) Result.t
-(** Parse + bind + {!optimize_tree}. *)
+(** Parse + bind (under a [parse] span) + {!optimize_tree}. *)
 
 val optimize_graph :
+  ?obs:Obs.Span.ctx ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
   ?budget:int ->
@@ -67,7 +77,7 @@ val optimize_graph :
   (result, string) Result.t
 (** Plain-hypergraph entry point (inner joins / pre-built edges); the
     [tree] field of the result is the optimized plan re-materialized
-    as an operator tree. *)
+    as an operator tree (under a [plan-emit] span when observed). *)
 
 val verify_on_data :
   ?rows:int -> ?seed:int -> result -> (int, string) Result.t

@@ -1,0 +1,125 @@
+type counters = {
+  pairs_considered : int;
+  ccp_emitted : int;
+  cost_calls : int;
+  filter_rejected : int;
+  neighborhood_calls : int;
+  budget_limit : int option;
+  budget_remaining : int option;
+}
+
+type tier_attempt = { tier : string; completed : bool; pairs : int }
+
+type profile = {
+  spans : Sink.span list;
+  total_s : float;
+  counters : counters option;
+  dp_entries : int;
+  tiers : tier_attempt list;
+  winning_tier : string option;
+}
+
+let make ?counters ?(dp_entries = 0) ?(tiers = []) ?winning_tier ~total_s spans
+    =
+  let spans =
+    List.stable_sort
+      (fun (a : Sink.span) (b : Sink.span) -> compare a.start_s b.start_s)
+      spans
+  in
+  { spans; total_s; counters; dp_entries; tiers; winning_tier }
+
+(* ---------- JSON (obs_profile/v1) ---------- *)
+
+let opt_int_json = function None -> "null" | Some i -> string_of_int i
+
+let counters_json c =
+  Printf.sprintf
+    "{\"pairs_considered\": %d, \"ccp_emitted\": %d, \"cost_calls\": %d, \
+     \"filter_rejected\": %d, \"neighborhood_calls\": %d, \"budget\": %s, \
+     \"budget_remaining\": %s}"
+    c.pairs_considered c.ccp_emitted c.cost_calls c.filter_rejected
+    c.neighborhood_calls (opt_int_json c.budget_limit)
+    (opt_int_json c.budget_remaining)
+
+let tier_json t =
+  Printf.sprintf "{\"tier\": %S, \"completed\": %b, \"pairs\": %d}" t.tier
+    t.completed t.pairs
+
+let to_json ?(name = "run") p =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "    {\n";
+  Printf.bprintf b "      \"name\": %S,\n" name;
+  Printf.bprintf b "      \"total_ms\": %.4f,\n" (p.total_s *. 1e3);
+  Printf.bprintf b "      \"winning_tier\": %s,\n"
+    (match p.winning_tier with
+    | Some t -> Printf.sprintf "%S" t
+    | None -> "null");
+  Printf.bprintf b "      \"dp_entries\": %d,\n" p.dp_entries;
+  Printf.bprintf b "      \"counters\": %s,\n"
+    (match p.counters with Some c -> counters_json c | None -> "null");
+  Printf.bprintf b "      \"tiers\": [%s],\n"
+    (String.concat ", " (List.map tier_json p.tiers));
+  Buffer.add_string b "      \"spans\": [\n";
+  Buffer.add_string b
+    (String.concat ",\n"
+       (List.map (fun s -> "        " ^ Sink.span_to_json s) p.spans));
+  Buffer.add_string b "\n      ]\n    }";
+  Buffer.contents b
+
+(* ---------- the explain table ---------- *)
+
+let attr_int (s : Sink.span) key =
+  match List.assoc_opt key s.attrs with
+  | Some (Sink.Int i) -> Some i
+  | _ -> None
+
+let pp_table ppf p =
+  let num s k =
+    match attr_int s k with Some i -> string_of_int i | None -> "-"
+  in
+  Format.fprintf ppf "%-36s %10s %12s %10s %10s %9s@." "phase" "ms"
+    "minor-words" "pairs" "ccp" "rejected";
+  Format.fprintf ppf "%s@." (String.make 93 '-');
+  List.iter
+    (fun (s : Sink.span) ->
+      let label = String.make (2 * s.depth) ' ' ^ s.name in
+      Format.fprintf ppf "%-36s %10.3f %12.0f %10s %10s %9s@." label
+        (s.dur_s *. 1e3) s.minor_words (num s "pairs") (num s "ccp")
+        (num s "filter_rejected"))
+    p.spans;
+  let covered =
+    List.fold_left
+      (fun acc (s : Sink.span) -> if s.depth = 0 then acc +. s.dur_s else acc)
+      0.0 p.spans
+  in
+  Format.fprintf ppf "total: %.3f ms  (top-level phases cover %.1f%%)@."
+    (p.total_s *. 1e3)
+    (if p.total_s > 0.0 then 100.0 *. covered /. p.total_s else 100.0);
+  (match p.counters with
+  | Some c ->
+      Format.fprintf ppf
+        "counters: pairs=%d ccp=%d cost-calls=%d filtered=%d neighborhoods=%d \
+         budget=%s remaining=%s@."
+        c.pairs_considered c.ccp_emitted c.cost_calls c.filter_rejected
+        c.neighborhood_calls
+        (match c.budget_limit with
+        | Some b -> string_of_int b
+        | None -> "unlimited")
+        (match c.budget_remaining with
+        | Some r -> string_of_int r
+        | None -> "unlimited")
+  | None -> ());
+  (match p.tiers with
+  | [] -> ()
+  | tiers ->
+      Format.fprintf ppf "tier attempts: %s@."
+        (String.concat " -> "
+           (List.map
+              (fun t ->
+                Printf.sprintf "%s(%d pairs%s)" t.tier t.pairs
+                  (if t.completed then "" else ", budget ran out"))
+              tiers)));
+  (match p.winning_tier with
+  | Some t -> Format.fprintf ppf "winning tier: %s@." t
+  | None -> ());
+  Format.fprintf ppf "dp entries: %d@." p.dp_entries

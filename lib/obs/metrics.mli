@@ -1,0 +1,62 @@
+(** Structured run profiles: spans + counter snapshots in one record.
+
+    A {!profile} is what the pipeline hands back when observability is
+    on — every phase span of the run, a snapshot of the enumeration
+    counters (the machine-independent work measures of
+    [Core.Counters]), the DP-table occupancy, and the adaptive
+    tier-ladder attempts.  {!to_json} renders the [obs_profile/v1]
+    schema consumed by [tools/bench_smoke.sh] and
+    [results/PROFILE_smoke.json]; {!pp_table} renders the per-phase
+    table behind [joinopt explain] / [joinopt --profile].
+
+    This module deliberately speaks in plain ints and strings so that
+    the [obs] library stays below every other layer — [Core] converts
+    its own counter and tier types into these records. *)
+
+type counters = {
+  pairs_considered : int;
+  ccp_emitted : int;
+  cost_calls : int;
+  filter_rejected : int;
+  neighborhood_calls : int;
+  budget_limit : int option;  (** [None] = unlimited *)
+  budget_remaining : int option;  (** headroom left, [None] = unlimited *)
+}
+
+type tier_attempt = {
+  tier : string;  (** ["exact"], ["idp-7"], ["greedy"], ... *)
+  completed : bool;  (** false when the budget ran out mid-attempt *)
+  pairs : int;  (** pairs the attempt consumed *)
+}
+
+type profile = {
+  spans : Sink.span list;  (** chronological by start time *)
+  total_s : float;  (** wall clock of the whole observed run *)
+  counters : counters option;
+  dp_entries : int;  (** DP/memo table occupancy of the winning run *)
+  tiers : tier_attempt list;  (** adaptive ladder attempts, in order *)
+  winning_tier : string option;
+}
+
+val make :
+  ?counters:counters ->
+  ?dp_entries:int ->
+  ?tiers:tier_attempt list ->
+  ?winning_tier:string ->
+  total_s:float ->
+  Sink.span list ->
+  profile
+(** Sorts the spans chronologically. *)
+
+val to_json : ?name:string -> profile -> string
+(** One [obs_profile/v1] profile object (without the top-level schema
+    header, which the emitting file adds): [name], [total_ms],
+    [winning_tier], [dp_entries], [counters], [tiers], and one span
+    per line in the {!Sink.span_to_json} shape. *)
+
+val pp_table : Format.formatter -> profile -> unit
+(** The per-phase explain table: one row per span (indented by
+    nesting depth) with milliseconds, minor-heap words, and the
+    pairs/ccp/rejected attributes where a phase recorded them,
+    followed by totals, the counter snapshot (with budget context),
+    the winning tier and the DP-table occupancy. *)

@@ -1,0 +1,78 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  name : string;
+  depth : int;
+  start_s : float;
+  dur_s : float;
+  minor_words : float;
+  major_words : float;
+  attrs : (string * value) list;
+}
+
+type chrome = { path : string; mutable buffered : span list }
+
+type t =
+  | Null
+  | Memory of span list ref
+  | Jsonl of out_channel
+  | Chrome of chrome
+
+let chrome path = Chrome { path; buffered = [] }
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.6g" f
+  | Str s -> Printf.sprintf "%S" s
+  | Bool b -> if b then "true" else "false"
+
+let attrs_to_json attrs =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k (value_to_json v)) attrs)
+  ^ "}"
+
+let span_to_json s =
+  Printf.sprintf
+    "{\"name\": %S, \"depth\": %d, \"start_ms\": %.4f, \"ms\": %.4f, \
+     \"minor_words\": %.0f, \"major_words\": %.0f, \"attrs\": %s}"
+    s.name s.depth (s.start_s *. 1e3) (s.dur_s *. 1e3) s.minor_words
+    s.major_words (attrs_to_json s.attrs)
+
+(* Chrome trace-event format: "X" (complete) events with microsecond
+   timestamps; nesting is reconstructed by the viewer from ts/dur. *)
+let chrome_event s =
+  let args =
+    ("minor_words", Float s.minor_words)
+    :: ("major_words", Float s.major_words)
+    :: s.attrs
+  in
+  Printf.sprintf
+    "{\"name\": %S, \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \
+     \"tid\": 1, \"args\": %s}"
+    s.name (s.start_s *. 1e6) (s.dur_s *. 1e6) (attrs_to_json args)
+
+let chrome_trace_json spans =
+  "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
+  ^ String.concat ",\n" (List.map chrome_event spans)
+  ^ "\n]}\n"
+
+let write_chrome path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace_json spans))
+
+let emit t s =
+  match t with
+  | Null -> ()
+  | Memory r -> r := s :: !r
+  | Jsonl oc ->
+      output_string oc (span_to_json s);
+      output_char oc '\n'
+  | Chrome c -> c.buffered <- s :: c.buffered
+
+let close = function
+  | Null | Memory _ -> ()
+  | Jsonl oc -> flush oc
+  | Chrome c -> write_chrome c.path (List.rev c.buffered)

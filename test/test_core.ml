@@ -282,6 +282,119 @@ let test_tdpart_beats_naive () =
     (tdp.counters.Core.Counters.pairs_considered * 5
     < naive.counters.Core.Counters.pairs_considered)
 
+(* ---------- budget ---------- *)
+
+let test_budget_zero () =
+  (* a zero budget is legal and means "no pairs at all": the very
+     first tick_pair must raise *)
+  Alcotest.check_raises "budget 0 raises on first pair"
+    Core.Counters.Budget_exhausted (fun () ->
+      ignore (Opt.run ~budget:0 Opt.Dphyp (Workloads.Shapes.chain 4)))
+
+let test_budget_exactly_sufficient () =
+  (* the budget is inclusive: b pairs under ~budget:b must not raise,
+     and the run is indistinguishable from the unbudgeted one *)
+  List.iter
+    (fun (name, g) ->
+      let free = Opt.run Opt.Dphyp g in
+      let p = free.counters.Core.Counters.pairs_considered in
+      let capped = Opt.run ~budget:p Opt.Dphyp g in
+      check_int (name ^ ": same pairs under exact budget") p
+        capped.counters.Core.Counters.pairs_considered;
+      check (name ^ ": same cost under exact budget") true
+        (Float.equal (cost_of free) (cost_of capped));
+      check (name ^ ": headroom fully spent")
+        true
+        (Core.Counters.remaining capped.counters = Some 0);
+      (* one pair less must blow up *)
+      if p > 0 then
+        Alcotest.check_raises
+          (name ^ ": budget p-1 raises")
+          Core.Counters.Budget_exhausted
+          (fun () -> ignore (Opt.run ~budget:(p - 1) Opt.Dphyp g)))
+    [
+      ("chain5", Workloads.Shapes.chain 5);
+      ("cycle6", Workloads.Shapes.cycle 6);
+      ("star5", Workloads.Shapes.star 5);
+    ]
+
+let test_reset_preserves_limit () =
+  let c = Core.Counters.create ~budget:7 () in
+  for _ = 1 to 5 do
+    Core.Counters.tick_pair c
+  done;
+  check_int "spent before reset" 5 c.Core.Counters.pairs_considered;
+  check "remaining before reset" true (Core.Counters.remaining c = Some 2);
+  Core.Counters.reset c;
+  check_int "zeroed" 0 c.Core.Counters.pairs_considered;
+  check "budget survives reset" true (Core.Counters.budget c = Some 7);
+  check "headroom restored" true (Core.Counters.remaining c = Some 7);
+  (* the limit is still enforced after reset *)
+  Alcotest.check_raises "still enforced" Core.Counters.Budget_exhausted
+    (fun () ->
+      for _ = 1 to 8 do
+        Core.Counters.tick_pair c
+      done);
+  (* unlimited counters stay unlimited *)
+  let u = Core.Counters.create () in
+  Core.Counters.reset u;
+  check "unlimited has no budget" true (Core.Counters.budget u = None);
+  check "unlimited has no headroom figure" true
+    (Core.Counters.remaining u = None)
+
+let test_counters_pp_budget () =
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  let unl = Format.asprintf "%a" Core.Counters.pp (Core.Counters.create ()) in
+  check "pp says unlimited" true (contains unl "budget=unlimited");
+  let c = Core.Counters.create ~budget:100 () in
+  Core.Counters.tick_pair c;
+  let s = Format.asprintf "%a" Core.Counters.pp c in
+  check "pp prints the limit" true (contains s "budget=100");
+  check "pp prints the headroom" true (contains s "remaining=99")
+
+let test_null_sink_counters_identical () =
+  (* observability must not perturb enumeration: a run under a
+     Null-sink collector produces byte-identical counters, DP-table
+     occupancy and plan cost to an un-observed run *)
+  let snapshot (r : Opt.result) =
+    ( r.counters.Core.Counters.pairs_considered,
+      r.counters.Core.Counters.ccp_emitted,
+      r.counters.Core.Counters.cost_calls,
+      r.counters.Core.Counters.filter_rejected,
+      r.counters.Core.Counters.neighborhood_calls,
+      r.dp_entries,
+      cost_of r )
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun (algo, budget) ->
+          let plain = Opt.run ?budget algo g in
+          let obs = Obs.Span.create () in
+          let traced = Opt.run ~obs ?budget algo g in
+          check
+            (Printf.sprintf "%s/%s: counters unperturbed by obs" name
+               (Opt.name algo))
+            true
+            (snapshot plain = snapshot traced))
+        [
+          (Opt.Dphyp, None);
+          (Opt.Idp, None);
+          (Opt.Adaptive, None);
+          (Opt.Adaptive, Some 50);
+        ])
+    [
+      ("chain6", Workloads.Shapes.chain 6);
+      ("cycle7", Workloads.Shapes.cycle 7);
+      ("star6-split0", List.hd (Workloads.Splits.star_based 6));
+    ]
+
 (* ---------- edge cases ---------- *)
 
 let test_disconnected_query_cross_products () =
@@ -666,6 +779,18 @@ let () =
             test_dp_entries_is_csg_count;
           Alcotest.test_case "tdpart beats naive topdown" `Quick
             test_tdpart_beats_naive;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "zero budget raises" `Quick test_budget_zero;
+          Alcotest.test_case "exactly-sufficient budget does not raise" `Quick
+            test_budget_exactly_sufficient;
+          Alcotest.test_case "reset preserves the limit" `Quick
+            test_reset_preserves_limit;
+          Alcotest.test_case "pp shows budget context" `Quick
+            test_counters_pp_budget;
+          Alcotest.test_case "null-sink run leaves counters untouched" `Quick
+            test_null_sink_counters_identical;
         ] );
       ( "plans",
         [

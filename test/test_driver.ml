@@ -81,6 +81,72 @@ let test_custom_catalog () =
         (Hypergraph.Graph.cardinality r.D.graph 0)
   | Error m -> Alcotest.fail m
 
+let test_profile_spans () =
+  (* an observed SQL run yields a profile with one span per pipeline
+     phase, in start order, whose durations are sane *)
+  let ctx = Obs.Span.create () in
+  match D.optimize_sql ~obs:ctx sample_sql with
+  | Error m -> Alcotest.fail m
+  | Ok r -> (
+      match r.D.profile with
+      | None -> Alcotest.fail "observed run returned no profile"
+      | Some p ->
+          let names =
+            List.map (fun s -> s.Obs.Sink.name) p.Obs.Metrics.spans
+          in
+          List.iter
+            (fun phase ->
+              check ("span recorded: " ^ phase) true (List.mem phase names))
+            [
+              "parse";
+              "simplify";
+              "conflict-analysis";
+              "hypergraph-derive";
+              "enumerate:dphyp";
+            ];
+          check "phases sum within total" true
+            (List.for_all
+               (fun s -> s.Obs.Sink.dur_s <= p.Obs.Metrics.total_s)
+               p.Obs.Metrics.spans);
+          check "counters snapshotted" true
+            (match p.Obs.Metrics.counters with
+            | Some c -> c.Obs.Metrics.pairs_considered > 0
+            | None -> false))
+
+let test_profile_unobserved_absent () =
+  match D.optimize_sql sample_sql with
+  | Ok r -> check "no profile without obs" true (r.D.profile = None)
+  | Error m -> Alcotest.fail m
+
+let test_profile_adaptive_ladder () =
+  (* a budgeted adaptive run records the failed exact attempt and the
+     fallback tiers in the profile *)
+  let ctx = Obs.Span.create () in
+  match
+    D.optimize_graph ~obs:ctx ~algo:Core.Optimizer.Adaptive ~budget:2_000
+      (Workloads.Shapes.clique 12)
+  with
+  | Error m -> Alcotest.fail m
+  | Ok r -> (
+      match r.D.profile with
+      | None -> Alcotest.fail "observed run returned no profile"
+      | Some p ->
+          check "ladder descended" true
+            (List.length p.Obs.Metrics.tiers >= 2);
+          check "exact tier lost" true
+            (p.Obs.Metrics.winning_tier <> Some "exact"
+            && p.Obs.Metrics.winning_tier <> None);
+          check "per-tier spans present" true
+            (List.exists
+               (fun s ->
+                 String.length s.Obs.Sink.name >= 5
+                 && String.sub s.Obs.Sink.name 0 5 = "tier:")
+               p.Obs.Metrics.spans);
+          check "plan-emit span present" true
+            (List.exists
+               (fun s -> s.Obs.Sink.name = "plan-emit")
+               p.Obs.Metrics.spans))
+
 let () =
   Alcotest.run "driver"
     [
@@ -94,5 +160,13 @@ let () =
           Alcotest.test_case "graph entry point" `Quick test_optimize_graph;
           Alcotest.test_case "errors" `Quick test_errors;
           Alcotest.test_case "custom catalog" `Quick test_custom_catalog;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "pipeline phase spans" `Quick test_profile_spans;
+          Alcotest.test_case "absent when unobserved" `Quick
+            test_profile_unobserved_absent;
+          Alcotest.test_case "adaptive tier ladder" `Quick
+            test_profile_adaptive_ladder;
         ] );
     ]

@@ -20,4 +20,23 @@ dune exec bench/main.exe -- --quick --adaptive-json "$out/bench_adaptive.json"
 grep -q '"schema": "bench_adaptive/v1"' "$out/bench_adaptive.json"
 grep '"clique20_budget50k_tier"' "$out/bench_adaptive.json" \
   | grep -qv '"exact"'
+# Observability smoke point: the profile emitter must produce an
+# obs_profile/v1 document and every span must carry the required keys
+# (one span object per line: name, depth, start_ms, ms, minor_words,
+# major_words, attrs).  Schema drift fails here.
+dune exec bench/main.exe -- --quick --profile-json "$out/bench_profile.json"
+grep -q '"schema": "obs_profile/v1"' "$out/bench_profile.json"
+grep -q '"profiles"' "$out/bench_profile.json"
+spans=$(grep -c '"start_ms"' "$out/bench_profile.json")
+test "$spans" -gt 0
+for key in '"name"' '"depth"' '"ms"' '"minor_words"' '"major_words"' \
+    '"attrs"'; do
+  test "$(grep -c "$key" "$out/bench_profile.json")" -ge "$spans"
+done
+# counter snapshots with budget context, the tier ladder, and the
+# winning tier must all be present
+grep -q '"pairs_considered"' "$out/bench_profile.json"
+grep -q '"budget_remaining"' "$out/bench_profile.json"
+grep -q '"winning_tier"' "$out/bench_profile.json"
+grep -q '"tier": "' "$out/bench_profile.json"
 echo "bench smoke OK"
