@@ -447,43 +447,45 @@ let xcdc ~quick:_ () =
     ~rows
 
 (* X9: estimation quality — C_out estimated under a data-calibrated
-   catalog vs C_out measured by executing the plan *)
+   catalog vs C_out measured by executing the plan.  Rides the same
+   Driver.Analyze path as `joinopt analyze`, so the experiment and the
+   CLI report cannot drift apart. *)
 let xqual ~quick:_ () =
   header
-    "X9: estimation quality — estimated vs executed C_out (calibrated \
-     catalogs, random inner-join trees, 10-row relations)";
+    "X9: estimation quality — estimated vs executed C_out (EXPLAIN ANALYZE \
+     path, calibrated catalogs, random inner-join trees, 10-row relations)";
   let rows = ref [] in
   List.iter
     (fun seed ->
       let ops = Relalg.Operator.[ join ] in
       let tree = Workloads.Random_trees.random_tree ~seed ~n:6 ~ops in
-      let inst = Executor.Instance.for_tree ~rows:10 ~domain:3 ~seed:(seed + 5) tree in
-      let analysis = Conflicts.Analysis.analyze tree in
-      let g0 = Conflicts.Derive.hypergraph analysis in
-      let g = Executor.Estimate.calibrate ~sample:10 inst g0 in
-      match (Opt.run Opt.Dphyp g).Opt.plan with
-      | None -> ()
-      | Some plan ->
-          let est = plan.Plans.Plan.cost in
-          let actual =
-            Executor.Stats.actual_cout inst (Plans.Plan.to_optree g plan)
-          in
-          let original = Executor.Stats.actual_cout inst tree in
+      match
+        Driver.Analyze.analyze_tree ~rows:10 ~domain:3 ~seed:(seed + 5)
+          ~sample:10 tree
+      with
+      | Error _ -> ()
+      | Ok rep ->
+          let open Driver.Analyze in
           rows :=
             [
               string_of_int seed;
-              Printf.sprintf "%.1f" est;
-              Printf.sprintf "%.0f" actual;
-              Printf.sprintf "%.2f" (est /. Float.max 1.0 actual);
-              Printf.sprintf "%.0f" original;
-              Printf.sprintf "%.2fx" (original /. Float.max 1.0 actual);
+              Printf.sprintf "%.1f" rep.est_cout;
+              Printf.sprintf "%.0f" rep.measured_cout;
+              Printf.sprintf "%.2f"
+                (rep.est_cout /. Float.max 1.0 rep.measured_cout);
+              (match rep.max_q with
+              | Some q -> Printf.sprintf "%.2f" q
+              | None -> "-");
+              Printf.sprintf "%.0f" rep.original_cout;
+              Printf.sprintf "%.2fx"
+                (rep.original_cout /. Float.max 1.0 rep.measured_cout);
             ]
             :: !rows)
     (List.init 10 Fun.id);
   print_table
     ~columns:
       [
-        "seed"; "est C_out"; "actual C_out"; "est/actual";
+        "seed"; "est C_out"; "actual C_out"; "est/actual"; "max q-error";
         "original-order C_out"; "speedup";
       ]
     ~rows:(List.rev !rows)

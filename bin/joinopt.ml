@@ -4,6 +4,7 @@
      optimize   parse a SQL query, run conflict analysis + an optimizer
      explain    optimize a SQL query and print the per-phase profile
      shape      generate a benchmark graph and optimize it
+     analyze    EXPLAIN ANALYZE: per-operator est/actual rows + Q-error
      ccp        csg-cmp-pair counts (DPhyp vs. brute force)
      dot        Graphviz export of a query or shape hypergraph
      trace      csg-cmp-pair emission trace (the paper's Figure 3);
@@ -477,6 +478,83 @@ let run_cmd =
           $ conservative_arg $ rows $ seed)
 
 (* ------------------------------------------------------------------ *)
+(* analyze: EXPLAIN ANALYZE — per-operator est/actual/Q-error          *)
+
+let analyze_cmd =
+  let run sql algo model budget k conservative rows seed sample json_out
+      stable profile trace_out =
+    let obs = obs_ctx profile trace_out in
+    match
+      Driver.Analyze.analyze_sql ?obs ~algo ~model ?budget ~k ~conservative
+        ~rows ~seed ?sample (read_sql sql)
+    with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok rep ->
+        Format.printf "%a" (Driver.Analyze.pp ~stable) rep;
+        (match json_out with
+        | Some path ->
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Driver.Analyze.to_json ~query:sql rep));
+            Format.printf "analyze report written to %s@." path
+        | None -> ());
+        (match obs with
+        | None -> ()
+        | Some ctx ->
+            (match trace_out with
+            | Some path ->
+                Obs.Sink.write_chrome path (Obs.Span.spans ctx);
+                Format.printf "span trace written to %s (open in Perfetto)@."
+                  path
+            | None -> ());
+            if profile then
+              match rep.Driver.Analyze.profile with
+              | Some p -> Format.printf "@.%a" Obs.Metrics.pp_table p
+              | None -> ());
+        0
+  in
+  let rows =
+    Arg.(value & opt int 8
+         & info [ "rows" ] ~doc:"Rows per generated base table.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Data generator seed.")
+  in
+  let sample =
+    Arg.(value & opt (some int) None
+         & info [ "sample" ]
+             ~doc:"Rows sampled per side when calibrating selectivities.")
+  in
+  let json_out =
+    Arg.(value & opt (some string) None
+         & info [ "analyze-json" ] ~docv:"FILE"
+             ~doc:"Also write the report to $(docv) as an obs_analyze/v1 \
+                   JSON document.")
+  in
+  let stable =
+    Arg.(value & flag
+         & info [ "stable" ]
+             ~doc:"Suppress wall-clock columns so output is byte-stable \
+                   across runs (golden tests).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "EXPLAIN ANALYZE: optimize a SQL query, execute the chosen plan on \
+          a deterministic generated instance, and print one row per \
+          operator with estimated rows, actual rows, Q-error, inclusive \
+          wall-clock and predicate evaluations — plus aggregate Q-error, \
+          the measured C_out of the chosen vs. the exact plan, and a \
+          result-correctness check against the original operator order.")
+    Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
+          $ conservative_arg $ rows $ seed $ sample $ json_out $ stable
+          $ profile_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* tpch: canned realistic join graphs                                  *)
 
 let tpch_cmd =
@@ -531,8 +609,8 @@ let main =
   in
   Cmd.group info
     [
-      optimize_cmd; explain_cmd; run_cmd; shape_cmd; graph_cmd; ccp_cmd;
-      dot_cmd; trace_cmd; tpch_cmd;
+      optimize_cmd; explain_cmd; analyze_cmd; run_cmd; shape_cmd; graph_cmd;
+      ccp_cmd; dot_cmd; trace_cmd; tpch_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -110,6 +110,11 @@ let run ?obs ?model ?filter ?budget ?(k = Idp.default_k) algo g =
           set "dp_entries" r.dp_entries;
           r)
 
+let plan_source algo r =
+  match r.tier with
+  | Some t -> name algo ^ ":" ^ Adaptive.tier_name t
+  | None -> name algo
+
 let counters_snapshot (c : Counters.t) : Obs.Metrics.counters =
   {
     Obs.Metrics.pairs_considered = c.Counters.pairs_considered;

@@ -72,6 +72,12 @@ val run :
     non-simple edges, or a [filter] is passed to an algorithm that
     does not support one. *)
 
+val plan_source : algorithm -> result -> string
+(** Provenance label of the returned plan: the algorithm name, refined
+    to ["adaptive:<tier>"] when the adaptive ladder answered on a
+    specific rung — what EXPLAIN ANALYZE reports as the plan's
+    source. *)
+
 val counters_snapshot : Counters.t -> Obs.Metrics.counters
 (** Freeze the counters (including budget limit and remaining
     headroom) into the plain-int record profiles carry. *)

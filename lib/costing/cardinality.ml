@@ -12,3 +12,9 @@ let estimate (op : Relalg.Operator.t) l r sel =
 
 let selectivity_product edges =
   List.fold_left (fun acc ((e : Hypergraph.Hyperedge.t), _) -> acc *. e.sel) 1.0 edges
+
+let q_error ~est ~actual =
+  if
+    est <= 0.0 || actual <= 0.0 || Float.is_nan est || Float.is_nan actual
+  then None
+  else Some (Float.max (est /. actual) (actual /. est))

@@ -26,3 +26,10 @@ val estimate : Relalg.Operator.t -> float -> float -> float -> float
 val selectivity_product : (Hypergraph.Hyperedge.t * 'a) list -> float
 (** Combined selectivity of a set of connecting edges (independence
     assumption: plain product). *)
+
+val q_error : est:float -> actual:float -> float option
+(** The estimation-quality measure [max(est/actual, actual/est)]
+    (symmetric, ≥ 1, with 1 = perfect).  NULL-safe: [None] when either
+    side is zero, negative or NaN — an empty actual result has no
+    finite Q-error, and reporting must say so rather than divide by
+    zero. *)

@@ -31,6 +31,10 @@ type result = {
           tier attempts); [None] unless [?obs] was passed *)
 }
 
+val budget_error : string
+(** The message every entry point returns when a non-adaptive
+    algorithm exhausts its work budget. *)
+
 val optimize_tree :
   ?obs:Obs.Span.ctx ->
   ?mode:conflict_mode ->

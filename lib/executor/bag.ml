@@ -17,20 +17,31 @@ let diff_summary ~universe a b =
     let ta = Hashtbl.create 64 and tb = Hashtbl.create 64 in
     count ta ca;
     count tb cb;
-    let missing_from t xs =
-      List.filter
+    (* Multiset difference per direction: total surplus tuples (so a
+       large semantic failure is quantified, not just sampled) and the
+       distinct tuples carrying it, first few listed. *)
+    let surplus t_own t_other xs =
+      let total = ref 0 and distinct = ref [] in
+      List.iter
         (fun x ->
-          let na = Option.value ~default:0 (Hashtbl.find_opt t x) in
-          na = 0)
-        (List.sort_uniq String.compare xs)
+          let na = Option.value ~default:0 (Hashtbl.find_opt t_own x) in
+          let nb = Option.value ~default:0 (Hashtbl.find_opt t_other x) in
+          if na > nb then begin
+            total := !total + (na - nb);
+            distinct := x :: !distinct
+          end)
+        (List.sort_uniq String.compare xs);
+      (!total, List.rev !distinct)
     in
-    let only_a = missing_from tb ca and only_b = missing_from ta cb in
+    let total_a, only_a = surplus ta tb ca
+    and total_b, only_b = surplus tb ta cb in
     let take n l = List.filteri (fun i _ -> i < n) l in
     Some
       (Printf.sprintf
-         "bags differ: |a|=%d |b|=%d; only in a (%d): %s; only in b (%d): %s"
-         (List.length ca) (List.length cb) (List.length only_a)
+         "bags differ: |a|=%d |b|=%d; a exceeds b by %d tuples (%d distinct): \
+          %s; b exceeds a by %d tuples (%d distinct): %s"
+         (List.length ca) (List.length cb) total_a (List.length only_a)
          (String.concat " " (take 3 only_a))
-         (List.length only_b)
+         total_b (List.length only_b)
          (String.concat " " (take 3 only_b)))
   end

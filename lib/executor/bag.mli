@@ -13,6 +13,8 @@ val equal : universe:int list -> Env.t list -> Env.t list -> bool
 
 val diff_summary :
   universe:int list -> Env.t list -> Env.t list -> string option
-(** [None] when equal; otherwise a human-readable account of the first
-    few tuples present in one bag and missing from the other — test
-    failure messages use this. *)
+(** [None] when equal; otherwise a human-readable account of the
+    multiset difference in both directions: the {e total} number of
+    surplus tuples each side carries (so a large semantic-test failure
+    is quantified), how many distinct tuples carry it, and the first
+    few of them — test failure messages use this. *)

@@ -6,17 +6,37 @@ let rows inst i = Instance.rows_of inst ~outer:Env.empty i
 
 let relation_card inst i = float_of_int (List.length (rows inst i))
 
-let take n l = List.filteri (fun i _ -> i < n) l
+let default_seed = 0x5eed
+
+(* Uniform sample of [k] rows via a Fisher–Yates prefix shuffle on a
+   private PRNG state: the first [k] slots of the partially shuffled
+   array are a uniform k-subset, and a fresh state per call makes two
+   calls with the same seed agree exactly (calibration is
+   deterministic across runs and immune to global Random use). *)
+let sample_rows st k l =
+  let n = List.length l in
+  if n <= k then l
+  else begin
+    let arr = Array.of_list l in
+    for i = 0 to k - 1 do
+      let j = i + Random.State.int st (n - i) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    Array.to_list (Array.sub arr 0 k)
+  end
 
 (* Evaluate the predicate over the (sampled) cross product of all
    relations the edge mentions. *)
-let edge_selectivity ?(sample = 30) inst (e : He.t) =
+let edge_selectivity ?(sample = 30) ?(seed = default_seed) inst (e : He.t) =
   match e.pred with
   | Relalg.Predicate.True_ -> 1.0
   | pred ->
+      let st = Random.State.make [| seed; 0x1dea |] in
       let tables = Ns.to_list (He.covers e) in
       let samples =
-        List.map (fun i -> (i, take sample (rows inst i))) tables
+        List.map (fun i -> (i, sample_rows st sample (rows inst i))) tables
       in
       let total = ref 0 and hits = ref 0 in
       let rec go env = function
@@ -31,7 +51,7 @@ let edge_selectivity ?(sample = 30) inst (e : He.t) =
       if !total = 0 then 1.0
       else Float.max 1e-4 (float_of_int !hits /. float_of_int !total)
 
-let calibrate ?sample inst g =
+let calibrate ?sample ?seed inst g =
   let rels =
     Array.init (G.num_nodes g) (fun i ->
         let r = G.relation g i in
@@ -39,7 +59,7 @@ let calibrate ?sample inst g =
   in
   let edges =
     Array.map
-      (fun (e : He.t) -> { e with He.sel = edge_selectivity ?sample inst e })
+      (fun (e : He.t) -> { e with He.sel = edge_selectivity ?sample ?seed inst e })
       (G.edges g)
   in
   G.make rels edges

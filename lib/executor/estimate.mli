@@ -13,12 +13,17 @@ val relation_card : Instance.t -> int -> float
     empty environment). *)
 
 val edge_selectivity :
-  ?sample:int -> Instance.t -> Hypergraph.Hyperedge.t -> float
+  ?sample:int -> ?seed:int -> Instance.t -> Hypergraph.Hyperedge.t -> float
 (** Fraction of the cross product of the edge's relations satisfying
     its predicate, floored at a small epsilon (an edge of selectivity
     0 would make every containing plan cost-free).  At most [sample]
-    rows per relation enter the cross product (default 30). *)
+    rows per relation enter the cross product (default 30), drawn
+    uniformly by a {e private} PRNG state seeded from [seed] (default
+    a fixed constant) — two calls with the same arguments return the
+    same value, regardless of any global [Random] use, so calibrated
+    catalogs are reproducible across runs. *)
 
-val calibrate : ?sample:int -> Instance.t -> Hypergraph.Graph.t -> Hypergraph.Graph.t
+val calibrate :
+  ?sample:int -> ?seed:int -> Instance.t -> Hypergraph.Graph.t -> Hypergraph.Graph.t
 (** Same graph structure with measured cardinalities and
-    selectivities. *)
+    selectivities ([seed] as in {!edge_selectivity}). *)

@@ -2,18 +2,23 @@ module Ot = Relalg.Optree
 
 type node_stat = { tables : Nodeset.Node_set.t; rows : int }
 
+(* Thin wrapper over the single-pass collector in [Exec.eval_stats]:
+   one evaluation of the whole tree fills every node's counters, where
+   the historical implementation re-ran [Exec.eval] per subtree
+   (quadratic in tree size, exponential under dependent joins).  For
+   trees without dependent operators the reported row counts are
+   identical to an independent re-evaluation of each subtree — pinned
+   by a qcheck property in test/test_executor.ml.  Under a dependent
+   join a subtree's count is now the total over all its invocations,
+   which is what actually flowed through the operator. *)
 let per_node inst tree =
-  let acc = ref [] in
-  let rec walk = function
-    | Ot.Leaf _ -> ()
-    | Ot.Node n as t ->
-        walk n.left;
-        walk n.right;
-        let rows = List.length (Exec.eval inst t) in
-        acc := { tables = Ot.tables t; rows } :: !acc
-  in
-  walk tree;
-  List.rev !acc
+  let _, stats = Exec.eval_stats inst tree in
+  List.filter_map
+    (fun (s : Exec.op_stat) ->
+      match s.op with
+      | None -> None
+      | Some _ -> Some { tables = s.tables; rows = s.rows_out })
+    stats
 
 let actual_cout inst tree =
   List.fold_left

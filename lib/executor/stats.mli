@@ -18,5 +18,8 @@ val actual_cout : Instance.t -> Relalg.Optree.t -> float
 
 val per_node : Instance.t -> Relalg.Optree.t -> node_stat list
 (** Actual cardinality of every interior operator, post order.
-    Subtrees are re-evaluated independently (quadratic — fine for the
-    test-sized instances this is meant for). *)
+    A thin wrapper over {!Exec.eval_stats}: one single-pass execution
+    fills every node's count (the historical implementation
+    re-evaluated each subtree independently, quadratic in tree size).
+    Under a dependent join a subtree's count is the total across all
+    its invocations. *)

@@ -10,6 +10,14 @@ type counters = {
 
 type tier_attempt = { tier : string; completed : bool; pairs : int }
 
+type quality = {
+  q_tier : string;
+  est_cout : float;
+  measured_cout : float;
+  exact_cout : float option;
+  delta : float option;
+}
+
 type profile = {
   spans : Sink.span list;
   total_s : float;
@@ -17,16 +25,19 @@ type profile = {
   dp_entries : int;
   tiers : tier_attempt list;
   winning_tier : string option;
+  quality : quality option;
 }
 
-let make ?counters ?(dp_entries = 0) ?(tiers = []) ?winning_tier ~total_s spans
-    =
+let make ?counters ?(dp_entries = 0) ?(tiers = []) ?winning_tier ?quality
+    ~total_s spans =
   let spans =
     List.stable_sort
       (fun (a : Sink.span) (b : Sink.span) -> compare a.start_s b.start_s)
       spans
   in
-  { spans; total_s; counters; dp_entries; tiers; winning_tier }
+  { spans; total_s; counters; dp_entries; tiers; winning_tier; quality }
+
+let with_quality p q = { p with quality = Some q }
 
 (* ---------- JSON (obs_profile/v1) ---------- *)
 
@@ -45,6 +56,17 @@ let tier_json t =
   Printf.sprintf "{\"tier\": %S, \"completed\": %b, \"pairs\": %d}" t.tier
     t.completed t.pairs
 
+let opt_float_json = function
+  | None -> "null"
+  | Some f -> Printf.sprintf "%.4f" f
+
+let quality_json q =
+  Printf.sprintf
+    "{\"tier\": %S, \"est_cout\": %.4f, \"measured_cout\": %.4f, \
+     \"exact_cout\": %s, \"delta\": %s}"
+    q.q_tier q.est_cout q.measured_cout (opt_float_json q.exact_cout)
+    (opt_float_json q.delta)
+
 let to_json ?(name = "run") p =
   let b = Buffer.create 1024 in
   Buffer.add_string b "    {\n";
@@ -59,6 +81,8 @@ let to_json ?(name = "run") p =
     (match p.counters with Some c -> counters_json c | None -> "null");
   Printf.bprintf b "      \"tiers\": [%s],\n"
     (String.concat ", " (List.map tier_json p.tiers));
+  Printf.bprintf b "      \"quality\": %s,\n"
+    (match p.quality with Some q -> quality_json q | None -> "null");
   Buffer.add_string b "      \"spans\": [\n";
   Buffer.add_string b
     (String.concat ",\n"
@@ -121,5 +145,15 @@ let pp_table ppf p =
               tiers)));
   (match p.winning_tier with
   | Some t -> Format.fprintf ppf "winning tier: %s@." t
+  | None -> ());
+  (match p.quality with
+  | Some q ->
+      Format.fprintf ppf
+        "plan quality (%s): measured C_out %.4g (est %.4g)%s@." q.q_tier
+        q.measured_cout q.est_cout
+        (match q.exact_cout, q.delta with
+        | Some e, Some d ->
+            Printf.sprintf "  vs exact plan %.4g = %.2fx" e d
+        | _ -> "")
   | None -> ());
   Format.fprintf ppf "dp entries: %d@." p.dp_entries

@@ -29,6 +29,21 @@ type tier_attempt = {
   pairs : int;  (** pairs the attempt consumed *)
 }
 
+type quality = {
+  q_tier : string;  (** tier/algorithm that produced the measured plan *)
+  est_cout : float;  (** optimizer-estimated C_out of the chosen plan *)
+  measured_cout : float;  (** executed C_out (sum of actual join rows) *)
+  exact_cout : float option;
+      (** executed C_out of the {e exact} (DPhyp) plan on the same
+          instance, when one was computed *)
+  delta : float option;
+      (** [measured_cout / exact_cout] — the per-tier plan-quality
+          price of graceful degradation, 1.0 = no quality lost *)
+}
+(** Measured plan quality — what EXPLAIN ANALYZE records so the
+    adaptive ladder's quality/time tradeoff is grounded in executed
+    row counts, not estimates. *)
+
 type profile = {
   spans : Sink.span list;  (** chronological by start time *)
   total_s : float;  (** wall clock of the whole observed run *)
@@ -36,6 +51,7 @@ type profile = {
   dp_entries : int;  (** DP/memo table occupancy of the winning run *)
   tiers : tier_attempt list;  (** adaptive ladder attempts, in order *)
   winning_tier : string option;
+  quality : quality option;  (** measured plan quality, when executed *)
 }
 
 val make :
@@ -43,10 +59,16 @@ val make :
   ?dp_entries:int ->
   ?tiers:tier_attempt list ->
   ?winning_tier:string ->
+  ?quality:quality ->
   total_s:float ->
   Sink.span list ->
   profile
 (** Sorts the spans chronologically. *)
+
+val with_quality : profile -> quality -> profile
+(** Attach a measured-quality record to an already-built profile (the
+    optimizer builds profiles before any plan is executed; EXPLAIN
+    ANALYZE adds the measurement afterwards). *)
 
 val to_json : ?name:string -> profile -> string
 (** One [obs_profile/v1] profile object (without the top-level schema

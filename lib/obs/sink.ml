@@ -69,10 +69,13 @@ let emit t s =
   | Memory r -> r := s :: !r
   | Jsonl oc ->
       output_string oc (span_to_json s);
-      output_char oc '\n'
+      output_char oc '\n';
+      (* flush per span: a crashed run still leaves every completed
+         span readable on disk *)
+      flush oc
   | Chrome c -> c.buffered <- s :: c.buffered
 
 let close = function
   | Null | Memory _ -> ()
-  | Jsonl oc -> flush oc
+  | Jsonl oc -> close_out oc
   | Chrome c -> write_chrome c.path (List.rev c.buffered)

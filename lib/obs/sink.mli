@@ -39,7 +39,9 @@ val chrome : string -> t
 val emit : t -> span -> unit
 
 val close : t -> unit
-(** Flush ([Jsonl]) or write out ([Chrome]) the sink.  [Null] and
+(** Close the underlying channel ([Jsonl] — [emit] already flushes
+    after every span, so a crashed run leaves a readable trace even
+    without this call) or write out ([Chrome]) the sink.  [Null] and
     [Memory] are no-ops. *)
 
 val span_to_json : span -> string

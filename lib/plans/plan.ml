@@ -83,6 +83,23 @@ let rec shape_equal a b =
       && shape_equal x.left y.left && shape_equal x.right y.right
   | (Scan _ | Join _ | Compound _), _ -> false
 
+(* Per-node cardinality annotations, postorder (children before
+   parents) — the estimate side of EXPLAIN ANALYZE.  Keyed by the
+   relation set, which is also T(subtree) of the emitted operator
+   tree, so executed row counts join against these exactly. *)
+let estimates p =
+  let out = ref [] in
+  let rec walk p =
+    (match p.tree with
+    | Scan _ | Compound _ -> ()
+    | Join j ->
+        walk j.left;
+        walk j.right);
+    out := (p.set, p.card) :: !out
+  in
+  walk p;
+  List.rev !out
+
 let to_optree g p =
   let rec go p =
     match p.tree with

@@ -80,6 +80,13 @@ val is_left_deep : t -> bool
 val shape_equal : t -> t -> bool
 (** Structural equality of the join trees, ignoring costs. *)
 
+val estimates : t -> (Nodeset.Node_set.t * float) list
+(** [(relations, estimated cardinality)] of every plan node in
+    postorder (children before parents, leaves included).  The
+    relation set equals [T(subtree)] of the operator tree
+    {!to_optree} emits, so EXPLAIN ANALYZE joins these annotations
+    against executed row counts by set. *)
+
 val to_optree : Hypergraph.Graph.t -> t -> Relalg.Optree.t
 (** Re-materialize the plan as an operator tree: each join node
     carries the conjunction of its edges' predicates, the nestjoin

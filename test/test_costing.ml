@@ -84,6 +84,19 @@ let test_cmm () =
   checkf "louter hash" ((1.2 *. 2.0) +. 2.0 +. 1.0)
     (Cm.c_mm.Cm.op_cost Op.left_outer ~left_card:2.0 ~right_card:2.0 ~out_card:1.0)
 
+let test_q_error () =
+  let q = Costing.Cardinality.q_error in
+  check "overestimate" true (q ~est:20.0 ~actual:5.0 = Some 4.0);
+  check "underestimate symmetric" true (q ~est:5.0 ~actual:20.0 = Some 4.0);
+  check "perfect" true (q ~est:7.0 ~actual:7.0 = Some 1.0);
+  check "never below 1" true
+    (match q ~est:3.0 ~actual:4.0 with Some v -> v >= 1.0 | None -> false);
+  (* NULL-safe: an empty actual (or estimate) has no defined ratio *)
+  check "zero actual" true (q ~est:10.0 ~actual:0.0 = None);
+  check "zero estimate" true (q ~est:0.0 ~actual:10.0 = None);
+  check "negative rejected" true (q ~est:(-1.0) ~actual:5.0 = None);
+  check "nan rejected" true (q ~est:Float.nan ~actual:5.0 = None)
+
 let test_by_name () =
   check "cout" true (match Cm.by_name "cout" with Some m -> m.Cm.name = "cout" | None -> false);
   check "cmm" true (match Cm.by_name "cmm" with Some m -> m.Cm.name = "cmm" | None -> false);
@@ -103,6 +116,7 @@ let () =
           Alcotest.test_case "dependent = regular" `Quick test_dependent_same;
           Alcotest.test_case "monotone" `Quick test_monotone_in_inputs;
           Alcotest.test_case "selectivity product" `Quick test_selectivity_product;
+          Alcotest.test_case "q-error" `Quick test_q_error;
         ] );
       ( "cost_model",
         [

@@ -147,6 +147,118 @@ let test_profile_adaptive_ladder () =
                (fun s -> s.Obs.Sink.name = "plan-emit")
                p.Obs.Metrics.spans))
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN ANALYZE                                                     *)
+
+module A = Driver.Analyze
+
+let analyze_sql = "SELECT * FROM a, b, c WHERE a.x = b.x AND b.y = c.y"
+
+let analyze_ok ?obs ?algo ?budget sql =
+  match A.analyze_sql ?obs ?algo ?budget ~rows:6 ~seed:7 sql with
+  | Ok rep -> rep
+  | Error m -> Alcotest.fail m
+
+let test_analyze_report () =
+  let rep = analyze_ok analyze_sql in
+  (* 3 scans + 2 joins, root first *)
+  Alcotest.(check int) "five operators" 5 (List.length rep.A.rows);
+  let root = List.hd rep.A.rows in
+  check "root is a join" true root.A.is_join;
+  check "root covers all tables" true
+    (Nodeset.Node_set.equal root.A.tables rep.A.plan.Plans.Plan.set);
+  check "root depth 0" true (root.A.depth = 0);
+  List.iter
+    (fun (r : A.op_row) ->
+      check "actual rows nonnegative" true (r.A.actual_rows >= 0);
+      check "estimates positive" true (r.A.est_card > 0.0);
+      match r.A.q_error with
+      | Some q -> check "q-error >= 1" true (q >= 1.0)
+      | None -> check "no q-error only for empty output" true (r.A.actual_rows = 0))
+    rep.A.rows;
+  check "verified" true (rep.A.mismatch = None);
+  check "root rows = result rows" true
+    ((List.hd rep.A.rows).A.actual_rows = rep.A.result_rows);
+  check "max q-error present" true (rep.A.max_q <> None);
+  check "measured C_out positive" true (rep.A.measured_cout > 0.0);
+  check "original order no better" true
+    (rep.A.original_cout >= rep.A.measured_cout -. 1e-9)
+
+let test_analyze_exact_delta_one () =
+  (* an exact algorithm IS the exact reference: delta must be 1 *)
+  let rep = analyze_ok ~algo:Core.Optimizer.Dphyp analyze_sql in
+  check "source is dphyp" true (rep.A.source = "dphyp");
+  check "exact C_out is own C_out" true
+    (rep.A.exact_cout = Some rep.A.measured_cout);
+  check "delta 1.0" true (rep.A.quality_delta = Some 1.0)
+
+let test_analyze_per_node_consistency () =
+  (* the report's per-operator actuals must agree with the standalone
+     Stats.per_node contract on the same instance *)
+  let rep = analyze_ok analyze_sql in
+  let sum_join_rows =
+    List.fold_left
+      (fun acc (r : A.op_row) ->
+        if r.A.is_join then acc + r.A.actual_rows else acc)
+      0 rep.A.rows
+  in
+  Alcotest.(check (float 1e-9)) "measured C_out = sum of join actuals"
+    rep.A.measured_cout (float_of_int sum_join_rows)
+
+let test_analyze_profile_quality () =
+  let ctx = Obs.Span.create () in
+  let rep = analyze_ok ~obs:ctx analyze_sql in
+  match rep.A.profile with
+  | None -> Alcotest.fail "observed analyze returned no profile"
+  | Some p -> (
+      match p.Obs.Metrics.quality with
+      | None -> Alcotest.fail "profile carries no quality record"
+      | Some q ->
+          Alcotest.(check (float 1e-9)) "profile quality = report"
+            rep.A.measured_cout q.Obs.Metrics.measured_cout;
+          check "execute span recorded" true
+            (List.exists
+               (fun s -> s.Obs.Sink.name = "execute")
+               p.Obs.Metrics.spans);
+          check "verify span recorded" true
+            (List.exists
+               (fun s -> s.Obs.Sink.name = "verify")
+               p.Obs.Metrics.spans))
+
+let test_analyze_json_schema () =
+  let rep = analyze_ok analyze_sql in
+  let js = A.to_json ~query:analyze_sql rep in
+  let contains sub =
+    let n = String.length js and l = String.length sub in
+    let rec go i = i + l <= n && (String.sub js i l = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun key -> check key true (contains key))
+    [
+      "\"schema\": \"obs_analyze/v1\"";
+      "\"operators\"";
+      "\"est_card\"";
+      "\"actual_rows\"";
+      "\"q_error\"";
+      "\"summary\"";
+      "\"max_q_error\"";
+      "\"measured_cout\"";
+      "\"verified\": true";
+    ]
+
+let test_analyze_errors () =
+  (match A.analyze_sql "SELECT * FROM" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse error expected");
+  match
+    A.analyze_sql ~algo:Core.Optimizer.Dphyp ~budget:1 ~rows:4
+      "SELECT * FROM a, b, c, d, e WHERE a.x = b.x AND b.x = c.x AND c.x = \
+       d.x AND d.x = e.x"
+  with
+  | Error m -> check "budget error surfaced" true (m = D.budget_error)
+  | Ok _ -> Alcotest.fail "budget exhaustion expected"
+
 let () =
   Alcotest.run "driver"
     [
@@ -168,5 +280,18 @@ let () =
             test_profile_unobserved_absent;
           Alcotest.test_case "adaptive tier ladder" `Quick
             test_profile_adaptive_ladder;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "report shape" `Quick test_analyze_report;
+          Alcotest.test_case "exact plan has delta 1" `Quick
+            test_analyze_exact_delta_one;
+          Alcotest.test_case "C_out = sum of join actuals" `Quick
+            test_analyze_per_node_consistency;
+          Alcotest.test_case "profile carries quality" `Quick
+            test_analyze_profile_quality;
+          Alcotest.test_case "obs_analyze/v1 shape" `Quick
+            test_analyze_json_schema;
+          Alcotest.test_case "errors" `Quick test_analyze_errors;
         ] );
     ]

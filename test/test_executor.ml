@@ -223,6 +223,92 @@ let test_estimate_true_pred () =
   Alcotest.(check (float 1e-9)) "cross product sel 1" 1.0
     (Executor.Estimate.edge_selectivity inst e)
 
+(* single-pass statistics: the collector threaded through one
+   execution must report, for every subtree, exactly the row count an
+   independent re-evaluation of that subtree yields (dependent trees
+   excluded — there the right side legitimately runs once per outer
+   tuple and the counts accumulate) *)
+let rec subtrees t =
+  t
+  ::
+  (match t with
+  | Ot.Leaf _ -> []
+  | Ot.Node n -> subtrees n.left @ subtrees n.right)
+
+let test_stats_single_pass =
+  QCheck.Test.make ~name:"single-pass stats = independent re-evaluation"
+    ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let n = 2 + (seed mod 5) in
+      let ops = [ Op.join; Op.left_outer; Op.left_semi; Op.left_anti ] in
+      let tree = Workloads.Random_trees.random_tree ~seed ~n ~ops in
+      let inst = I.for_tree ~rows:5 ~domain:3 ~seed tree in
+      let envs, stats = E.eval_stats inst tree in
+      if List.length stats <> Ot.num_leaves tree + Ot.num_ops tree then
+        QCheck.Test.fail_reportf "seed %d: %d stats for %d nodes" seed
+          (List.length stats)
+          (Ot.num_leaves tree + Ot.num_ops tree);
+      if List.length envs <> List.length (E.eval inst tree) then
+        QCheck.Test.fail_reportf "seed %d: eval_stats result differs" seed;
+      List.iter
+        (fun sub ->
+          let key = Ot.tables sub in
+          match List.find_opt (fun s -> Ns.equal s.E.tables key) stats with
+          | None ->
+              QCheck.Test.fail_reportf "seed %d: no stat for %s" seed
+                (Format.asprintf "%a" Ns.pp key)
+          | Some s ->
+              let expect = List.length (E.eval inst sub) in
+              if s.E.rows_out <> expect then
+                QCheck.Test.fail_reportf
+                  "seed %d: subtree %s reported %d rows, re-eval yields %d"
+                  seed
+                  (Format.asprintf "%a" Ns.pp key)
+                  s.E.rows_out expect)
+        (subtrees tree);
+      true)
+
+let test_estimate_deterministic () =
+  let t = Ot.op Op.join (P.eq_cols 0 "k" 1 "k") a b in
+  let inst = I.for_tree ~rows:40 ~domain:4 ~seed:5 t in
+  let g =
+    Hypergraph.Graph.make
+      [| Hypergraph.Graph.base_rel "A"; Hypergraph.Graph.base_rel "B" |]
+      [| Hypergraph.Hyperedge.simple ~pred:(P.eq_cols 0 "k" 1 "k") ~id:0 0 1 |]
+  in
+  let e = Hypergraph.Graph.edge g 0 in
+  let sel () = Executor.Estimate.edge_selectivity ~sample:10 ~seed:99 inst e in
+  let s1 = sel () in
+  (* perturbing the global generator must not matter: sampling runs on
+     private PRNG state *)
+  Random.self_init ();
+  ignore (Random.bits ());
+  Alcotest.(check (float 1e-12)) "same seed, same selectivity" s1 (sel ());
+  let d1 = Executor.Estimate.edge_selectivity ~sample:10 inst e in
+  let d2 = Executor.Estimate.edge_selectivity ~sample:10 inst e in
+  Alcotest.(check (float 1e-12)) "default seed deterministic too" d1 d2
+
+let test_bag_diff_totals () =
+  let u = [ 0 ] in
+  let e k = Executor.Env.bind 0 [ ("k", V.Int k) ] Executor.Env.empty in
+  (* a: k=1 x3, k=2 x1      b: k=2 x2, k=3 x1
+     a surplus: 3 tuples over 1 distinct; b surplus: 2 over 2 *)
+  let xs = [ e 1; e 1; e 1; e 2 ] and ys = [ e 2; e 2; e 3 ] in
+  match Executor.Bag.diff_summary ~universe:u xs ys with
+  | None -> Alcotest.fail "bags differ, summary expected"
+  | Some m ->
+      let contains sub =
+        let n = String.length m and l = String.length sub in
+        let rec go i = i + l <= n && (String.sub m i l = sub || go (i + 1)) in
+        go 0
+      in
+      check "sizes reported" true (contains "|a|=4 |b|=3");
+      check "a surplus total and distinct" true
+        (contains "a exceeds b by 3 tuples (1 distinct)");
+      check "b surplus total and distinct" true
+        (contains "b exceeds a by 2 tuples (2 distinct)")
+
 (* association of joins checked by brute execution *)
 let test_join_associativity_on_data () =
   let c = Ot.leaf 2 "C" in
@@ -257,11 +343,16 @@ let () =
         [
           Alcotest.test_case "selectivity calibration" `Quick test_estimate;
           Alcotest.test_case "true predicate" `Quick test_estimate_true_pred;
+          Alcotest.test_case "sampling is deterministic" `Quick
+            test_estimate_deterministic;
         ] );
+      ( "stats",
+        [ QCheck_alcotest.to_alcotest test_stats_single_pass ] );
       ( "plumbing",
         [
           Alcotest.test_case "output tables" `Quick test_output_tables;
           Alcotest.test_case "bag semantics" `Quick test_bag_semantics;
+          Alcotest.test_case "bag diff totals" `Quick test_bag_diff_totals;
           Alcotest.test_case "env lookup" `Quick test_env_lookup;
           Alcotest.test_case "join associativity on data" `Quick
             test_join_associativity_on_data;

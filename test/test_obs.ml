@@ -1,0 +1,75 @@
+(* Observability plumbing: sink durability.  The Jsonl sink must make
+   every completed span visible on disk immediately (a crashed run
+   still leaves a readable trace) and close must really release the
+   underlying channel. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let with_temp f =
+  let path = Filename.temp_file "obs_sink" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_jsonl_flushes_per_span () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      let sink = Obs.Sink.Jsonl oc in
+      let ctx = Obs.Span.create ~sink () in
+      Obs.Span.with_ ctx "phase-one" (fun sp ->
+          Obs.Span.set sp "rows" (Obs.Span.Int 7));
+      (* deliberately NO close: emit must have flushed already *)
+      let ic = open_in path in
+      let line = input_line ic in
+      close_in ic;
+      Alcotest.(check bool) "span on disk without close" true
+        (contains line "\"phase-one\"");
+      Alcotest.(check bool) "attrs on disk too" true
+        (contains line "\"rows\": 7");
+      Obs.Sink.close sink)
+
+let test_close_closes_channel () =
+  with_temp (fun path ->
+      let oc = open_out path in
+      let sink = Obs.Sink.Jsonl oc in
+      Obs.Sink.emit sink
+        {
+          Obs.Sink.name = "only";
+          depth = 0;
+          start_s = 0.0;
+          dur_s = 0.001;
+          minor_words = 0.0;
+          major_words = 0.0;
+          attrs = [];
+        };
+      Obs.Sink.close sink;
+      (* the channel must be gone: further output fails *)
+      Alcotest.(check bool) "writing after close fails" true
+        (match
+           output_string oc "trailing";
+           flush oc
+         with
+        | () -> false
+        | exception Sys_error _ -> true);
+      let ic = open_in path in
+      let line = input_line ic in
+      let eof = match input_line ic with
+        | _ -> false
+        | exception End_of_file -> true
+      in
+      close_in ic;
+      Alcotest.(check bool) "exactly the emitted span" true
+        (contains line "\"only\"" && eof))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "sink",
+        [
+          Alcotest.test_case "jsonl flushes per span" `Quick
+            test_jsonl_flushes_per_span;
+          Alcotest.test_case "close closes the channel" `Quick
+            test_close_closes_channel;
+        ] );
+    ]

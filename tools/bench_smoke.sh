@@ -39,4 +39,33 @@ grep -q '"pairs_considered"' "$out/bench_profile.json"
 grep -q '"budget_remaining"' "$out/bench_profile.json"
 grep -q '"winning_tier"' "$out/bench_profile.json"
 grep -q '"tier": "' "$out/bench_profile.json"
+# Regression gate: the committed baseline pair must pass, and a
+# synthetic 2x-slower summary must trip the gate (exit 1) — both
+# directions of the bench_diff contract.
+dune build tools/bench_diff.exe
+dune exec tools/bench_diff.exe -- \
+  results/BENCH_dphyp_seed.json results/BENCH_dphyp.json
+dune exec tools/bench_diff.exe -- \
+  --scale 2.0 -o "$out/scaled.json" results/BENCH_dphyp.json
+if dune exec tools/bench_diff.exe -- \
+    results/BENCH_dphyp.json "$out/scaled.json"; then
+  echo "bench_diff failed to flag a 2x regression" >&2
+  exit 1
+fi
+# EXPLAIN ANALYZE smoke point: the analyze subcommand must produce an
+# obs_analyze/v1 document with per-operator estimates, actuals and
+# Q-errors plus the aggregate summary.  Schema drift fails here.
+dune build bin/joinopt.exe
+dune exec bin/joinopt.exe -- analyze \
+  "SELECT * FROM a, b, c WHERE a.x = b.x AND b.y = c.y" \
+  --rows 6 --seed 7 --analyze-json "$out/analyze.json"
+grep -q '"schema": "obs_analyze/v1"' "$out/analyze.json"
+grep -q '"operators"' "$out/analyze.json"
+grep -q '"est_card"' "$out/analyze.json"
+grep -q '"actual_rows"' "$out/analyze.json"
+grep -q '"q_error"' "$out/analyze.json"
+grep -q '"summary"' "$out/analyze.json"
+grep -q '"max_q_error"' "$out/analyze.json"
+grep -q '"measured_cout"' "$out/analyze.json"
+grep -q '"verified": true' "$out/analyze.json"
 echo "bench smoke OK"
