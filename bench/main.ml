@@ -20,6 +20,12 @@
                                               per-experiment pipeline profiles
                                               (obs_profile/v1 spans + counters,
                                               see bench/profile_bench.ml)
+     dune exec bench/main.exe -- --parallel-json FILE
+                                              domain-parallel DPhyp at
+                                              jobs 1/2/4 vs sequential, plus
+                                              a FILE_seq.json companion for
+                                              the bench_diff jobs=1 gate
+                                              (see bench/parallel_bench.ml)
 
    Experiment names: table1 fig5a fig5b table2 fig6a fig6b fig7 fig8a
    fig8b ccp xchain xclique xgen xgoo xtopdown xtpch xmem xcdc xqual
@@ -162,18 +168,27 @@ let () =
     | _ :: rest -> profile_json rest
     | [] -> None
   in
+  let rec parallel_json = function
+    | "--parallel-json" :: path :: _ -> Some path
+    | _ :: rest -> parallel_json rest
+    | [] -> None
+  in
   let rec positional = function
     | "--csv" :: _ :: rest | "--json" :: _ :: rest
-    | "--adaptive-json" :: _ :: rest | "--profile-json" :: _ :: rest ->
+    | "--adaptive-json" :: _ :: rest | "--profile-json" :: _ :: rest
+    | "--parallel-json" :: _ :: rest ->
         positional rest
     | a :: rest when String.length a > 0 && a.[0] <> '-' -> a :: positional rest
     | _ :: rest -> positional rest
     | [] -> []
   in
   let names = positional args in
-  match (json args, adaptive_json args, profile_json args) with
-  | Some path, _, _ -> Json_bench.run ~quick ~path names
-  | None, Some path, _ -> Adaptive_bench.write_json ~quick ~path ()
-  | None, None, Some path -> Profile_bench.write_json ~quick ~path ()
-  | None, None, None ->
+  match
+    (json args, adaptive_json args, profile_json args, parallel_json args)
+  with
+  | Some path, _, _, _ -> Json_bench.run ~quick ~path names
+  | None, Some path, _, _ -> Adaptive_bench.write_json ~quick ~path ()
+  | None, None, Some path, _ -> Profile_bench.write_json ~quick ~path ()
+  | None, None, None, Some path -> Parallel_bench.write_json ~quick ~path ()
+  | None, None, None, None ->
       if bechamel then run_bechamel () else run_experiments ~quick names

@@ -60,6 +60,15 @@ let conservative_arg =
   let doc = "Use the conservative conflict-detection gate (see DESIGN.md)." in
   Arg.(value & flag & info [ "conservative" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Enumeration domains.  With $(docv) > 1 the DPhyp enumeration runs on a \
+     pool of that many domains (layer-synchronous, sharded DP table; dphyp \
+     only — other algorithms refuse); the chosen plan is byte-identical to \
+     --jobs 1 for every value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let profile_arg =
   let doc =
     "Print a per-phase observability table after the run: wall-clock ms, \
@@ -128,7 +137,7 @@ let graph_of_shape shape n splits =
                (Workloads.Splits.num_splits fam)))
   | s -> Error (Printf.sprintf "unknown shape %S" s)
 
-let report_result g (r : Core.Optimizer.result) elapsed =
+let report_result ?(stable = false) g (r : Core.Optimizer.result) elapsed =
   (match r.plan with
   | Some p ->
       Format.printf "plan: %a@.cost: %.4g   est. cardinality: %.4g@."
@@ -139,18 +148,33 @@ let report_result g (r : Core.Optimizer.result) elapsed =
   | Some t -> Format.printf "tier: %s@." (Core.Adaptive.tier_name t)
   | None -> ());
   Format.printf "counters: %a@." Core.Counters.pp r.counters;
-  Format.printf "dp entries: %d   time: %.3f ms@." r.dp_entries
-    (elapsed *. 1000.0)
+  if stable then Format.printf "dp entries: %d@." r.dp_entries
+  else
+    Format.printf "dp entries: %d   time: %.3f ms@." r.dp_entries
+      (elapsed *. 1000.0)
 
 let timed f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* [--jobs N] with N > 1 routes DPhyp through the parallel enumerator
+   on a fresh N-domain pool; any other algorithm refuses (there is no
+   parallel decomposition to fall back on). *)
+let run_algo ?obs ~model ?budget ~k ~jobs algo g =
+  if jobs <= 1 then Core.Optimizer.run ?obs ~model ?budget ~k algo g
+  else if algo <> Core.Optimizer.Dphyp then
+    invalid_arg
+      (Printf.sprintf "--jobs %d requires --algo dphyp (got %s)" jobs
+         (Core.Optimizer.name algo))
+  else
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Parallel.Par_dphyp.run ?obs ~model ?budget ~pool g)
+
 (* Non-adaptive algorithms let Budget_exhausted escape; turn it into a
    CLI error instead of a backtrace. *)
-let timed_run ?obs ~model ?budget ~k algo g =
-  match timed (fun () -> Core.Optimizer.run ?obs ~model ?budget ~k algo g) with
+let timed_run ?obs ~model ?budget ~k ?(jobs = 1) algo g =
+  match timed (fun () -> run_algo ?obs ~model ?budget ~k ~jobs algo g) with
   | r -> Ok r
   | exception Core.Counters.Budget_exhausted ->
       Error
@@ -159,6 +183,7 @@ let timed_run ?obs ~model ?budget ~k algo g =
             graceful degradation)"
            (Option.value ~default:0 budget)
            (Core.Optimizer.name algo))
+  | exception Invalid_argument msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
 (* optimize: SQL pipeline                                              *)
@@ -178,7 +203,7 @@ let read_sql s =
   else s
 
 let optimize_cmd =
-  let run sql algo model budget k conservative verbose dot_plan profile
+  let run sql algo model budget k jobs conservative verbose dot_plan profile
       trace_out =
     match Sqlfront.Binder.parse_and_bind (read_sql sql) with
     | Error msg ->
@@ -192,7 +217,7 @@ let optimize_cmd =
         let g = Conflicts.Derive.hypergraph analysis in
         if verbose then Format.printf "%a@." G.pp g;
         let obs = obs_ctx profile trace_out in
-        match timed_run ?obs ~model ?budget ~k algo g with
+        match timed_run ?obs ~model ?budget ~k ~jobs algo g with
         | Error msg ->
             Format.eprintf "error: %s@." msg;
             1
@@ -216,14 +241,14 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a SQL query")
     Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
-          $ conservative_arg $ verbose $ dot_plan $ profile_arg
+          $ jobs_arg $ conservative_arg $ verbose $ dot_plan $ profile_arg
           $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain: full-pipeline profile of one SQL query                     *)
 
 let explain_cmd =
-  let run sql algo model budget k conservative trace_out =
+  let run sql algo model budget k jobs conservative trace_out =
     let ctx = Obs.Span.create () in
     let mode =
       if conservative then Driver.Pipeline.Tes_conservative
@@ -231,7 +256,7 @@ let explain_cmd =
     in
     match
       Driver.Pipeline.optimize_sql ~obs:ctx ~mode ~algo ~model ?budget ~k
-        (read_sql sql)
+        ~jobs (read_sql sql)
     with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
@@ -258,13 +283,13 @@ let explain_cmd =
           derivation, enumeration with its tier/round sub-spans) with \
           wall-clock ms, minor-heap allocation and enumeration counters.")
     Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
-          $ conservative_arg $ trace_out_arg)
+          $ jobs_arg $ conservative_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shape: benchmark graphs                                             *)
 
 let shape_cmd =
-  let run shape n splits algo model budget k profile trace_out =
+  let run shape n splits algo model budget k jobs stable profile trace_out =
     match graph_of_shape shape n splits with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
@@ -272,25 +297,33 @@ let shape_cmd =
     | Ok g -> (
         Format.printf "%a@." G.pp g;
         let obs = obs_ctx profile trace_out in
-        match timed_run ?obs ~model ?budget ~k algo g with
+        match timed_run ?obs ~model ?budget ~k ~jobs algo g with
         | Error msg ->
             Format.eprintf "error: %s@." msg;
             1
         | Ok (r, elapsed) ->
-            report_result g r elapsed;
+            report_result ~stable g r elapsed;
             report_obs obs profile trace_out r;
             0)
+  in
+  let stable =
+    Arg.(value & flag
+         & info [ "stable" ]
+             ~doc:"Suppress the wall-clock column so output is byte-stable \
+                   across runs (golden tests; e.g. to diff --jobs N against \
+                   --jobs 1).")
   in
   Cmd.v
     (Cmd.info "shape" ~doc:"Generate a benchmark graph and optimize it")
     Term.(const run $ shape_arg $ n_arg $ splits_arg $ algo_arg $ model_arg
-          $ budget_arg $ k_arg $ profile_arg $ trace_out_arg)
+          $ budget_arg $ k_arg $ jobs_arg $ stable $ profile_arg
+          $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph: save / load / optimize serialized hypergraphs                *)
 
 let graph_cmd =
-  let run input algo model budget k save profile trace_out =
+  let run input algo model budget k jobs save profile trace_out =
     let g_result =
       if String.length input > 0 && input.[0] = '@' then
         Hypergraph.Serialize.read_file
@@ -312,7 +345,7 @@ let graph_cmd =
         | None -> ());
         Format.printf "%a@." G.pp g;
         let obs = obs_ctx profile trace_out in
-        (match timed_run ?obs ~model ?budget ~k algo g with
+        (match timed_run ?obs ~model ?budget ~k ~jobs algo g with
         | Error msg ->
             Format.eprintf "error: %s@." msg;
             1
@@ -334,8 +367,8 @@ let graph_cmd =
   Cmd.v
     (Cmd.info "graph" ~doc:"Optimize a serialized hypergraph (see \
                             Hypergraph.Serialize for the format)")
-    Term.(const run $ input $ algo_arg $ model_arg $ budget_arg $ k_arg $ save
-          $ profile_arg $ trace_out_arg)
+    Term.(const run $ input $ algo_arg $ model_arg $ budget_arg $ k_arg
+          $ jobs_arg $ save $ profile_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccp: counts                                                         *)

@@ -7,15 +7,16 @@ type t = {
   mutable filter_rejected : int;
   mutable neighborhood_calls : int;
   mutable budget_limit : int;
+  shared : int Atomic.t option;
 }
 
-let create ?budget () =
-  let budget_limit =
-    match budget with
-    | None -> max_int
-    | Some b ->
-        if b < 0 then invalid_arg "Counters.create: negative budget" else b
-  in
+let check_budget budget =
+  match budget with
+  | None -> max_int
+  | Some b ->
+      if b < 0 then invalid_arg "Counters.create: negative budget" else b
+
+let make ~budget_limit ~shared =
   {
     pairs_considered = 0;
     ccp_emitted = 0;
@@ -23,24 +24,56 @@ let create ?budget () =
     filter_rejected = 0;
     neighborhood_calls = 0;
     budget_limit;
+    shared;
   }
+
+let create ?budget () = make ~budget_limit:(check_budget budget) ~shared:None
+
+let create_shared ?budget () =
+  make ~budget_limit:(check_budget budget) ~shared:(Some (Atomic.make 0))
+
+let fork t =
+  match t.shared with
+  | None -> invalid_arg "Counters.fork: counters were not created shared"
+  | Some _ -> make ~budget_limit:t.budget_limit ~shared:t.shared
+
+let absorb ~into c =
+  into.pairs_considered <- into.pairs_considered + c.pairs_considered;
+  into.ccp_emitted <- into.ccp_emitted + c.ccp_emitted;
+  into.cost_calls <- into.cost_calls + c.cost_calls;
+  into.filter_rejected <- into.filter_rejected + c.filter_rejected;
+  into.neighborhood_calls <- into.neighborhood_calls + c.neighborhood_calls
 
 let budget t = if t.budget_limit = max_int then None else Some t.budget_limit
 
+let global_pairs t =
+  match t.shared with
+  | None -> t.pairs_considered
+  | Some a -> Atomic.get a
+
 let remaining t =
   if t.budget_limit = max_int then None
-  else Some (max 0 (t.budget_limit - t.pairs_considered))
+  else Some (max 0 (t.budget_limit - global_pairs t))
 
 let tick_pair t =
   t.pairs_considered <- t.pairs_considered + 1;
-  if t.pairs_considered > t.budget_limit then raise Budget_exhausted
+  match t.shared with
+  | None -> if t.pairs_considered > t.budget_limit then raise Budget_exhausted
+  | Some a ->
+      (* The fetch-and-add makes the budget a global property of the
+         whole family of forks: the (b+1)-th tick anywhere raises, so
+         concurrent enumerators overshoot by at most one in-flight
+         pair per domain. *)
+      if Atomic.fetch_and_add a 1 + 1 > t.budget_limit then
+        raise Budget_exhausted
 
 let reset t =
   t.pairs_considered <- 0;
   t.ccp_emitted <- 0;
   t.cost_calls <- 0;
   t.filter_rejected <- 0;
-  t.neighborhood_calls <- 0
+  t.neighborhood_calls <- 0;
+  match t.shared with None -> () | Some a -> Atomic.set a 0
 
 let pp ppf t =
   Format.fprintf ppf
@@ -50,4 +83,4 @@ let pp ppf t =
   if t.budget_limit = max_int then Format.fprintf ppf " budget=unlimited"
   else
     Format.fprintf ppf " budget=%d remaining=%d" t.budget_limit
-      (max 0 (t.budget_limit - t.pairs_considered))
+      (max 0 (t.budget_limit - global_pairs t))

@@ -70,7 +70,7 @@ let run ~emit ~counters g dp =
 
 let solve_with_table ?(model = Costing.Cost_model.c_out)
     ?(counters = Counters.create ()) g =
-  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let dp = Plans.Dp_table.create_for g in
   let e = Emit.make ~model ~counters g dp in
   run ~emit:(Emit.emit_pair e) ~counters g dp;
   (dp, Plans.Dp_table.find dp (G.all_nodes g))
@@ -79,7 +79,7 @@ let solve ?model ?counters g = snd (solve_with_table ?model ?counters g)
 
 let enumerate_ccps g =
   let counters = Counters.create () in
-  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let dp = Plans.Dp_table.create_for g in
   let e = Emit.make ~model:Costing.Cost_model.c_out ~counters g dp in
   let trace = ref [] in
   let emit s1 s2 =

@@ -16,9 +16,16 @@ module G = Hypergraph.Graph
    order) is bit-for-bit the classic algorithm.  IDP-k (see Idp) is
    the customer of the restricted form. *)
 
+(* [mem] is the connectivity oracle of Section 3.2.  The sequential
+   solver passes dpTable membership (entries exist for exactly the
+   connected sets already decomposed, because subsets precede
+   supersets); the parallel enumerator passes a precomputed pure
+   oracle so enumeration can run before — and independently of — any
+   table writes.  See Par_dphyp for why an over-approximating oracle
+   still yields identical plans. *)
 type ctx = {
   g : G.t;
-  dp : Plans.Dp_table.t;
+  mem : Ns.t -> bool;
   counters : Counters.t;
   emit : Ns.t -> Ns.t -> unit;
   restrict : Ns.t;
@@ -39,7 +46,7 @@ let rec enumerate_cmp_rec c s1 s2 x =
     Se.iter_nonempty n (fun sub ->
         let s2' = Ns.union s2 sub in
         Counters.tick_pair c.counters;
-        if Plans.Dp_table.mem c.dp s2' && G.connects c.g s1 s2' then
+        if c.mem s2' && G.connects c.g s1 s2' then
           c.emit s1 s2');
     let x' = Ns.union x n in
     Se.iter_nonempty n (fun sub -> enumerate_cmp_rec c s1 (Ns.union s2 sub) x')
@@ -71,32 +78,41 @@ let rec enumerate_csg_rec c s1 x =
   if not (Ns.is_empty n) then begin
     Se.iter_nonempty n (fun sub ->
         let s1' = Ns.union s1 sub in
-        if Plans.Dp_table.mem c.dp s1' then emit_csg c s1');
+        if c.mem s1' then emit_csg c s1');
     let x' = Ns.union x n in
     Se.iter_nonempty n (fun sub -> enumerate_csg_rec c (Ns.union s1 sub) x')
   end
+
+(* One iteration of the solver's descending root loop: everything
+   DPhyp does for csgs whose minimal node is [v].  Exposed so the
+   parallel enumerator can hand each root to a different domain —
+   with a pure [mem] oracle the work under one root depends only on
+   the graph, never on other roots' table writes. *)
+let process_root c subset v =
+  let s = Ns.singleton v in
+  emit_csg c s;
+  enumerate_csg_rec c s
+    (Ns.union c.restrict (Ns.inter subset (Ns.upto v)))
+
+let run_root ~mem ~emit ~counters g v =
+  let c = { g; mem; counters; emit; restrict = Ns.empty } in
+  process_root c (G.all_nodes g) v
 
 let run_subset ~emit ~counters ?leaf ~subset g dp =
   let leaf =
     match leaf with Some f -> f | None -> fun v -> Plans.Plan.scan g v
   in
   let restrict = Ns.diff (G.all_nodes g) subset in
-  let c = { g; dp; counters; emit; restrict } in
+  let c = { g; mem = Plans.Dp_table.mem dp; counters; emit; restrict } in
   Ns.iter (fun v -> Plans.Dp_table.force dp (leaf v)) subset;
-  Ns.iter_desc
-    (fun v ->
-      let s = Ns.singleton v in
-      emit_csg c s;
-      enumerate_csg_rec c s
-        (Ns.union restrict (Ns.inter subset (Ns.upto v))))
-    subset
+  Ns.iter_desc (fun v -> process_root c subset v) subset
 
 let run ~emit ~counters g dp =
   run_subset ~emit ~counters ~subset:(G.all_nodes g) g dp
 
 let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter
     ?(counters = Counters.create ()) g =
-  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let dp = Plans.Dp_table.create_for g in
   let e = Emit.make ?filter ~model ~counters g dp in
   run ~emit:(Emit.emit_pair e) ~counters g dp;
   (dp, Plans.Dp_table.find dp (G.all_nodes g))
@@ -106,14 +122,14 @@ let solve ?model ?filter ?counters g =
 
 let solve_subset ?(model = Costing.Cost_model.c_out) ?leaf
     ?(counters = Counters.create ()) ~subset g =
-  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let dp = Plans.Dp_table.create_for g in
   let e = Emit.make ~model ~counters g dp in
   run_subset ~emit:(Emit.emit_pair e) ~counters ?leaf ~subset g dp;
   (dp, Plans.Dp_table.find dp subset)
 
 let enumerate_ccps g =
   let counters = Counters.create () in
-  let dp = Plans.Dp_table.create (G.num_nodes g) in
+  let dp = Plans.Dp_table.create_for g in
   let e = Emit.make ~model:Costing.Cost_model.c_out ~counters g dp in
   let trace = ref [] in
   let emit s1 s2 =

@@ -53,6 +53,25 @@ val solve_subset :
     connected.  With [subset = all_nodes] this is exactly
     {!solve_with_table} (without filter support). *)
 
+val run_root :
+  mem:(Nodeset.Node_set.t -> bool) ->
+  emit:(Nodeset.Node_set.t -> Nodeset.Node_set.t -> unit) ->
+  counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  int ->
+  unit
+(** One iteration of the whole-graph solver's descending root loop:
+    enumerate every csg-cmp-pair whose csg has minimal node [v]
+    (exclusion set [upto v]), calling [emit] on each.  [mem] replaces
+    the dpTable-membership connectivity test with a caller-supplied
+    oracle, making the call pure with respect to any DP table: the
+    work under one root depends only on the graph and the oracle, so
+    different roots can run on different domains against per-domain
+    {!Hypergraph.Graph.copy_scratch} copies.  The parallel enumerator
+    ({!Parallel.Par_dphyp}) is the customer; with [mem] = dpTable
+    membership and roots visited in descending order this is exactly
+    the sequential algorithm. *)
+
 val enumerate_ccps :
   Hypergraph.Graph.t ->
   (Nodeset.Node_set.t * Nodeset.Node_set.t) list

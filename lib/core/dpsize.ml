@@ -10,7 +10,7 @@ module G = Hypergraph.Graph
 let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter
     ?(counters = Counters.create ()) g =
   let n = G.num_nodes g in
-  let dp = Plans.Dp_table.create n in
+  let dp = Plans.Dp_table.create_for g in
   let e = Emit.make ?filter ~model ~counters g dp in
   for v = 0 to n - 1 do
     Plans.Dp_table.force dp (Plans.Plan.scan g v)

@@ -151,30 +151,61 @@ let plans_of t s1 s2 =
   | Some p1, Some p2 -> Some (p1, p2)
   | _ -> None
 
-let emit_pair t s1 s2 =
-  match plans_of t s1 s2 with
-  | None -> ()
-  | Some (p1, p2) -> (
-      match resolve t.g p1 p2 with
+(* The canonical pair-processing core, parameterized over table
+   access so the sequential DP table and the sharded parallel one
+   share one code path.  [add] receives the candidate's rank within
+   the pair (0 or 1) — the sharded table folds it into its
+   deterministic tie-break; the sequential [emit_pair] ignores it.
+   Candidate order is part of the contract: first the given (or
+   edge-dictated) argument order, then the commutative swap. *)
+let emit_pair_with ~find ~add ?filter ~model ~counters g s1 s2 =
+  match find s1, find s2 with
+  | Some (p1 : Plans.Plan.t), Some (p2 : Plans.Plan.t) -> (
+      match resolve g p1 p2 with
       | None -> ()
-      | Some info when passes_filter t s1 s2 info.connecting -> (
-          t.counters.Counters.ccp_emitted <- t.counters.Counters.ccp_emitted + 1;
-          let { edge_ids; sel; resolution; _ } = info in
-          match resolution with
-          | `Inner ->
-              let op = Relalg.Operator.join in
-              try_build t ~op ~edge_ids ~sel p1 p2;
-              try_build t ~op ~edge_ids ~sel p2 p1
-          | `Op (e, orientation) ->
-              let left, right =
-                match orientation with
-                | He.Forward -> (p1, p2)
-                | He.Backward -> (p2, p1)
-              in
-              try_build t ~op:e.op ~edge_ids ~sel left right;
-              if Relalg.Operator.commutative e.op then
-                try_build t ~op:e.op ~edge_ids ~sel right left)
-      | Some _rejected -> ())
+      | Some info -> (
+          let ok =
+            match filter with
+            | None -> true
+            | Some f ->
+                f s1 s2 info.connecting
+                ||
+                (counters.Counters.filter_rejected <-
+                   counters.Counters.filter_rejected + 1;
+                 false)
+          in
+          if ok then begin
+            counters.Counters.ccp_emitted <-
+              counters.Counters.ccp_emitted + 1;
+            let { edge_ids; sel; resolution; _ } = info in
+            let try_build rank ~op left right =
+              match build_one ~g ~model ~counters ~op ~edge_ids ~sel left right
+              with
+              | None -> ()
+              | Some plan -> add rank plan
+            in
+            match resolution with
+            | `Inner ->
+                let op = Relalg.Operator.join in
+                try_build 0 ~op p1 p2;
+                try_build 1 ~op p2 p1
+            | `Op (e, orientation) ->
+                let left, right =
+                  match orientation with
+                  | He.Forward -> (p1, p2)
+                  | He.Backward -> (p2, p1)
+                in
+                try_build 0 ~op:e.op left right;
+                if Relalg.Operator.commutative e.op then
+                  try_build 1 ~op:e.op right left
+          end))
+  | _ -> ()
+
+let emit_pair t s1 s2 =
+  emit_pair_with
+    ~find:(Plans.Dp_table.find t.dp)
+    ~add:(fun _rank plan -> ignore (Plans.Dp_table.update t.dp plan))
+    ?filter:t.filter ~model:t.model ~counters:t.counters t.g s1 s2
 
 let emit_directed t s1 s2 =
   match plans_of t s1 s2 with

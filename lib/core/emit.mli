@@ -40,6 +40,25 @@ val emit_pair : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> unit
     hyperedge's [u]) decides the order for non-commutative ones.
     No-op if no edge connects the pair. *)
 
+val emit_pair_with :
+  find:(Nodeset.Node_set.t -> Plans.Plan.t option) ->
+  add:(int -> Plans.Plan.t -> unit) ->
+  ?filter:filter ->
+  model:Costing.Cost_model.t ->
+  counters:Counters.t ->
+  Hypergraph.Graph.t ->
+  Nodeset.Node_set.t ->
+  Nodeset.Node_set.t ->
+  unit
+(** The pair-processing core behind {!emit_pair}, parameterized over
+    table access: [find] resolves each side's best plan, [add]
+    receives every successfully built candidate together with its
+    rank within the pair (0 for the first/oriented argument order, 1
+    for the commutative swap).  Candidate construction, counter
+    charging and candidate order are identical to {!emit_pair} by
+    construction — the parallel sharded DP table plugs in here and
+    folds the rank into its deterministic tie-break. *)
+
 val emit_directed : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> unit
 (** Directed emission for ordered enumerators (DPsize, DPsub, naive
     top-down): builds only plans with the first argument on the left,

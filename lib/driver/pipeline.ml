@@ -19,8 +19,22 @@ let budget_error =
   "work budget exhausted before a plan was found (use the adaptive algorithm \
    for graceful degradation)"
 
+(* Intra-query parallelism: [jobs > 1] runs the enumeration itself on
+   a domain pool — only DPhyp has a parallel decomposition (see
+   Parallel.Par_dphyp); every other algorithm refuses rather than
+   silently running sequentially. *)
+let run_algo ?obs ?model ?filter ?budget ?k ~jobs algo graph =
+  if jobs <= 1 then Core.Optimizer.run ?obs ?model ?filter ?budget ?k algo graph
+  else if algo <> Core.Optimizer.Dphyp then
+    invalid_arg
+      (Printf.sprintf "jobs > 1 requires the dphyp algorithm (got %s)"
+         (Core.Optimizer.name algo))
+  else
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        Parallel.Par_dphyp.run ?obs ?model ?filter ?budget ~pool graph)
+
 let optimize_tree ?obs ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp)
-    ?model ?budget ?k ?cards ?sels tree =
+    ?model ?budget ?k ?(jobs = 1) ?cards ?sels tree =
   match Ot.validate tree with
   | Error e -> Error ("invalid operator tree: " ^ Ot.error_to_string e)
   | Ok () -> (
@@ -65,7 +79,7 @@ let optimize_tree ?obs ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp)
                 support"
                (Core.Optimizer.name algo))
       | _ -> (
-          match Core.Optimizer.run ?obs ?model ?filter ?budget ?k algo graph with
+          match run_algo ?obs ?model ?filter ?budget ?k ~jobs algo graph with
           | { plan = Some plan; counters; tier; _ } as r ->
               Ok
                 {
@@ -81,14 +95,16 @@ let optimize_tree ?obs ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp)
           | exception Invalid_argument m -> Error m
           | exception Core.Counters.Budget_exhausted -> Error budget_error))
 
-let optimize_sql ?obs ?mode ?algo ?model ?budget ?k ?cards ?sels sql =
+let optimize_sql ?obs ?mode ?algo ?model ?budget ?k ?jobs ?cards ?sels sql =
   match Obs.Span.with_opt obs "parse" (fun _ -> Sqlfront.Binder.parse_and_bind sql) with
   | Error m -> Error m
   | Ok bound ->
-      optimize_tree ?obs ?mode ?algo ?model ?budget ?k ?cards ?sels bound.tree
+      optimize_tree ?obs ?mode ?algo ?model ?budget ?k ?jobs ?cards ?sels
+        bound.tree
 
-let optimize_graph ?obs ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k graph =
-  match Core.Optimizer.run ?obs ?model ?budget ?k algo graph with
+let optimize_graph ?obs ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k
+    ?(jobs = 1) graph =
+  match run_algo ?obs ?model ?budget ?k ~jobs algo graph with
   | { plan = Some plan; counters; tier; _ } as r ->
       let tree =
         Obs.Span.with_opt obs "plan-emit" (fun _ ->
@@ -106,6 +122,21 @@ let optimize_graph ?obs ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k graph =
   | { plan = None; _ } -> Error "no valid plan found"
   | exception Invalid_argument m -> Error m
   | exception Core.Counters.Budget_exhausted -> Error budget_error
+
+(* Inter-query parallelism: one pool task per query, each running the
+   full sequential pipeline on whichever domain picks it up.  Every
+   query derives its own graph and counters, so tasks share nothing
+   but the optional sink — and Obs.Sink.emit is serialized by a
+   process-wide mutex, so all per-query span contexts may stream into
+   one [?sink]. *)
+let run_batch ?sink ?mode ?algo ?model ?budget ?k ~jobs trees =
+  let trees = Array.of_list trees in
+  let out = Array.make (Array.length trees) (Error "query was not run") in
+  Parallel.Pool.with_pool ~jobs (fun pool ->
+      Parallel.Pool.run_fun pool (Array.length trees) (fun i _wid ->
+          let obs = Option.map (fun sink -> Obs.Span.create ~sink ()) sink in
+          out.(i) <- optimize_tree ?obs ?mode ?algo ?model ?budget ?k trees.(i)));
+  Array.to_list out
 
 let verify_on_data ?(rows = 8) ?(seed = 42) r =
   let inst = Executor.Instance.for_tree ~rows ~seed r.tree in

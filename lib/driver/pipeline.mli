@@ -42,6 +42,7 @@ val optimize_tree :
   ?model:Costing.Cost_model.t ->
   ?budget:int ->
   ?k:int ->
+  ?jobs:int ->
   ?cards:(int -> float) ->
   ?sels:(int -> float) ->
   Relalg.Optree.t ->
@@ -54,9 +55,13 @@ val optimize_tree :
     and fills the result's [profile]; omitting it runs the completely
     un-instrumented path.  [?budget] and [?k] are forwarded to
     {!Core.Optimizer.run}; a non-adaptive algorithm that blows the
-    budget yields [Error] rather than an exception.  [Error] carries
-    a human-readable reason (invalid tree, no plan, algorithm/filter
-    mismatch, budget exhausted). *)
+    budget yields [Error] rather than an exception.  [?jobs] (default
+    1) enumerates on that many domains via {!Parallel.Par_dphyp} —
+    the plan is byte-identical to the sequential one for every value;
+    only DPhyp has a parallel decomposition, so [jobs > 1] with any
+    other algorithm is an [Error].  [Error] carries a human-readable
+    reason (invalid tree, no plan, algorithm/filter mismatch, budget
+    exhausted). *)
 
 val optimize_sql :
   ?obs:Obs.Span.ctx ->
@@ -65,6 +70,7 @@ val optimize_sql :
   ?model:Costing.Cost_model.t ->
   ?budget:int ->
   ?k:int ->
+  ?jobs:int ->
   ?cards:(int -> float) ->
   ?sels:(int -> float) ->
   string ->
@@ -77,11 +83,32 @@ val optimize_graph :
   ?model:Costing.Cost_model.t ->
   ?budget:int ->
   ?k:int ->
+  ?jobs:int ->
   Hypergraph.Graph.t ->
   (result, string) Result.t
 (** Plain-hypergraph entry point (inner joins / pre-built edges); the
     [tree] field of the result is the optimized plan re-materialized
     as an operator tree (under a [plan-emit] span when observed). *)
+
+val run_batch :
+  ?sink:Obs.Sink.t ->
+  ?mode:conflict_mode ->
+  ?algo:Core.Optimizer.algorithm ->
+  ?model:Costing.Cost_model.t ->
+  ?budget:int ->
+  ?k:int ->
+  jobs:int ->
+  Relalg.Optree.t list ->
+  (result, string) Result.t list
+(** Inter-query parallelism: optimize a batch of operator trees
+    concurrently on a pool of [jobs] domains (one task per query,
+    each query running the ordinary sequential pipeline), returning
+    per-query results in input order.  Queries share nothing but the
+    optional [?sink]: each gets a private span context whose spans
+    stream into it ({!Obs.Sink.emit} is thread-safe), and its profile
+    lands in the query's own [result].  A task that raises something
+    other than the pipeline's handled errors aborts the whole
+    batch. *)
 
 val verify_on_data :
   ?rows:int -> ?seed:int -> result -> (int, string) Result.t

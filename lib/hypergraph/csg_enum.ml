@@ -26,6 +26,57 @@ let csg_cmp_pairs g =
 
 let count_csg_cmp_pairs g = List.length (csg_cmp_pairs g)
 
+(* Cheap estimate of the connected-subgraph count for DP-table
+   pre-sizing.  Exact counting is exponential, but the small layers
+   are countable directly: c2 (connected pairs) and c3 (connected
+   triples) cost O(n^3) connectivity probes.  Layer sizes of the
+   common query shapes grow (or shrink) roughly geometrically —
+   chains stay flat, stars and cliques multiply by ~(n-k)/k — so we
+   extrapolate with ratio c3/c2 and sum the resulting geometric
+   series over the remaining layers.  The answer is a sizing hint,
+   not a count: it is doubled for slack and capped so a pathological
+   ratio cannot demand gigabytes. *)
+let estimate_connected_subgraphs g =
+  let n = Graph.num_nodes g in
+  if n <= 2 then n + 1
+  else begin
+    let c2 = ref 0 and c3 = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let si = Ns.singleton i and sj = Ns.singleton j in
+        if Graph.connects g si sj then begin
+          incr c2;
+          for k = j + 1 to n - 1 do
+            let sij = Ns.union si sj and sk = Ns.singleton k in
+            if Graph.connects g sij sk then incr c3
+          done
+        end
+        else
+          for k = j + 1 to n - 1 do
+            let sk = Ns.singleton k in
+            let sik = Ns.union si sk and sjk = Ns.union sj sk in
+            if
+              (Graph.connects g si sk && Graph.connects g sik sj)
+              || (Graph.connects g sj sk && Graph.connects g sjk si)
+            then incr c3
+          done
+      done
+    done;
+    let cap = 1 lsl 21 in
+    let r = if !c2 = 0 then 1.0 else float_of_int !c3 /. float_of_int !c2 in
+    let total = ref (float_of_int (n + !c2 + !c3)) in
+    let layer = ref (float_of_int !c3) in
+    (try
+       for _ = 4 to n do
+         layer := !layer *. r;
+         total := !total +. !layer;
+         if !total > float_of_int cap then raise Exit
+       done
+     with Exit -> ());
+    let est = 2.0 *. !total in
+    max 64 (if est > float_of_int cap then cap else int_of_float est)
+  end
+
 let count_join_trees g =
   let conn = Connectivity.make_cache g in
   let memo : (int, int) Hashtbl.t = Hashtbl.create 256 in

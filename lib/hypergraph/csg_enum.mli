@@ -20,6 +20,15 @@ val csg_cmp_pairs :
 
 val count_csg_cmp_pairs : Graph.t -> int
 
+val estimate_connected_subgraphs : Graph.t -> int
+(** Cheap (polynomial) estimate of {!count_connected_subgraphs} for
+    pre-sizing DP hash tables: the 2- and 3-node layers are counted
+    exactly with O(n³) {!Graph.connects} probes and the remaining
+    layers extrapolated geometrically with ratio c₃/c₂, then doubled
+    for slack and capped at 2²¹.  A sizing hint, not a count — it
+    deliberately over-estimates so a table created with it does not
+    rehash while DPhyp fills it on the common shapes. *)
+
 val count_join_trees : Graph.t -> int
 (** Number of cross-product-free {e ordered} bushy join trees for the
     query (both argument orders counted, as for a commutative join) —

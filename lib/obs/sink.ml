@@ -63,19 +63,32 @@ let write_chrome path spans =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (chrome_trace_json spans))
 
+(* Sinks may be shared by several domains (the batch pipeline gives
+   every query its own span ctx but they can all point at one sink),
+   so emission is serialized by one global mutex.  Emission is rare —
+   one record per closed span — and each emit formats before locking,
+   so contention is negligible; [Null] skips the lock entirely. *)
+let emit_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock emit_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock emit_mutex) f
+
 let emit t s =
   match t with
   | Null -> ()
-  | Memory r -> r := s :: !r
+  | Memory r -> locked (fun () -> r := s :: !r)
   | Jsonl oc ->
-      output_string oc (span_to_json s);
-      output_char oc '\n';
-      (* flush per span: a crashed run still leaves every completed
-         span readable on disk *)
-      flush oc
-  | Chrome c -> c.buffered <- s :: c.buffered
+      let line = span_to_json s in
+      locked (fun () ->
+          output_string oc line;
+          output_char oc '\n';
+          (* flush per span: a crashed run still leaves every
+             completed span readable on disk *)
+          flush oc)
+  | Chrome c -> locked (fun () -> c.buffered <- s :: c.buffered)
 
 let close = function
   | Null | Memory _ -> ()
-  | Jsonl oc -> close_out oc
-  | Chrome c -> write_chrome c.path (List.rev c.buffered)
+  | Jsonl oc -> locked (fun () -> close_out oc)
+  | Chrome c -> locked (fun () -> write_chrome c.path (List.rev c.buffered))

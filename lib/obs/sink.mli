@@ -37,6 +37,11 @@ val chrome : string -> t
 (** A Chrome-trace sink that will write to this path on {!close}. *)
 
 val emit : t -> span -> unit
+(** Thread-safe: a process-wide mutex serializes every non-[Null]
+    emission, so several domains (e.g. the batch pipeline's
+    per-query span contexts) may share one sink; [Jsonl] lines never
+    interleave.  Span {e contexts} remain single-domain — only the
+    sink is shared. *)
 
 val close : t -> unit
 (** Close the underlying channel ([Jsonl] — [emit] already flushes

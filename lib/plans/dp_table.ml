@@ -18,12 +18,29 @@ type t = {
   by_size : Ns.t list array;  (* index [k]: sets of cardinality k, insertion order *)
 }
 
-let create n =
+let create ?hint n =
   let store =
     if n <= flat_max_nodes then Flat (Array.make (1 lsl n) None)
-    else Hashed (Hashtbl.create 1024)
+    else
+      (* OCaml's Hashtbl resizes once the load factor passes 2, so a
+         bucket count of half the expected entries already avoids
+         every rehash; creating with the full hint leaves headroom
+         for the estimate being low. *)
+      Hashed (Hashtbl.create (match hint with None -> 1024 | Some h -> max 16 h))
   in
   { store; entries = 0; by_size = Array.make (n + 1) [] }
+
+let create_for g =
+  let n = Hypergraph.Graph.num_nodes g in
+  if n <= flat_max_nodes then create n
+  else create ~hint:(Hypergraph.Csg_enum.estimate_connected_subgraphs g) n
+
+let hash_stats t =
+  match t.store with
+  | Flat _ -> None
+  | Hashed h ->
+      let s = Hashtbl.stats h in
+      Some (s.Hashtbl.num_buckets, s.Hashtbl.num_bindings)
 
 let find t s =
   match t.store with

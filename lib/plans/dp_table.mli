@@ -14,8 +14,22 @@
 
 type t
 
-val create : int -> t
-(** [create n] — table for an [n]-relation query. *)
+val create : ?hint:int -> int -> t
+(** [create n] — table for an [n]-relation query.  [?hint] pre-sizes
+    the hash-table backing with the expected number of entries
+    (connected subgraphs); ignored on the flat path ([n] small
+    enough), where sizing is exact by construction. *)
+
+val create_for : Hypergraph.Graph.t -> t
+(** Table sized for a specific query: flat for small [n]; beyond the
+    flat limit, the hash backing is pre-sized from
+    {!Hypergraph.Csg_enum.estimate_connected_subgraphs} so filling it
+    does not rehash on the common shapes. *)
+
+val hash_stats : t -> (int * int) option
+(** [(buckets, bindings)] of the hash backing; [None] on the flat
+    path.  Lets tests assert the pre-sizing really prevents
+    resizes. *)
 
 val find : t -> Nodeset.Node_set.t -> Plan.t option
 

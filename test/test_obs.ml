@@ -62,6 +62,66 @@ let test_close_closes_channel () =
       Alcotest.(check bool) "exactly the emitted span" true
         (contains line "\"only\"" && eof))
 
+(* Two domains hammering one sink concurrently (each through its own
+   span context — contexts stay single-domain, only the sink is
+   shared, as in Driver.Pipeline.run_batch).  Every span must survive,
+   and for Jsonl every line must parse as a complete record: a torn
+   write would interleave fragments. *)
+
+let span_storm tag rounds sink =
+  let ctx = Obs.Span.create ~sink () in
+  for i = 0 to rounds - 1 do
+    Obs.Span.with_ ctx (Printf.sprintf "%s-%d" tag i) (fun sp ->
+        Obs.Span.set sp "round" (Obs.Span.Int i))
+  done
+
+let test_memory_concurrent_emit () =
+  let rounds = 500 in
+  let spans = ref [] in
+  let sink = Obs.Sink.Memory spans in
+  let d = Domain.spawn (fun () -> span_storm "left" rounds sink) in
+  span_storm "right" rounds sink;
+  Domain.join d;
+  Alcotest.(check int) "no span lost" (2 * rounds) (List.length !spans);
+  let count tag =
+    List.length
+      (List.filter
+         (fun (s : Obs.Sink.span) -> contains s.name (tag ^ "-"))
+         !spans)
+  in
+  Alcotest.(check int) "all left spans" rounds (count "left");
+  Alcotest.(check int) "all right spans" rounds (count "right")
+
+let test_jsonl_concurrent_emit () =
+  with_temp (fun path ->
+      let rounds = 300 in
+      let oc = open_out path in
+      let sink = Obs.Sink.Jsonl oc in
+      let d = Domain.spawn (fun () -> span_storm "left" rounds sink) in
+      span_storm "right" rounds sink;
+      Domain.join d;
+      Obs.Sink.close sink;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      let lines = !lines in
+      Alcotest.(check int) "one line per span" (2 * rounds)
+        (List.length lines);
+      List.iter
+        (fun line ->
+          (* un-torn lines: each is one complete span record *)
+          Alcotest.(check bool) "line is a complete record" true
+            (String.length line > 0
+            && line.[0] = '{'
+            && line.[String.length line - 1] = '}'
+            && contains line "\"round\""))
+        lines)
+
 let () =
   Alcotest.run "obs"
     [
@@ -71,5 +131,9 @@ let () =
             test_jsonl_flushes_per_span;
           Alcotest.test_case "close closes the channel" `Quick
             test_close_closes_channel;
+          Alcotest.test_case "memory sink: two-domain emit" `Quick
+            test_memory_concurrent_emit;
+          Alcotest.test_case "jsonl sink: two-domain emit" `Quick
+            test_jsonl_concurrent_emit;
         ] );
     ]

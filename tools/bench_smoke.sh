@@ -52,6 +52,32 @@ if dune exec tools/bench_diff.exe -- \
   echo "bench_diff failed to flag a 2x regression" >&2
   exit 1
 fi
+# Parallel smoke point: domain-parallel DPhyp must emit a
+# bench_parallel/v1 document (plus its _seq companion) with the
+# host-core count and per-jobs speedups; the bench itself aborts if
+# any parallel plan's cost deviates from sequential.
+dune exec bench/main.exe -- --quick --parallel-json "$out/bench_parallel.json"
+grep -q '"schema": "bench_parallel/v1"' "$out/bench_parallel.json"
+grep -q '"host_cores"' "$out/bench_parallel.json"
+grep -q '"geomean_speedup_j4"' "$out/bench_parallel.json"
+grep -q '"schema": "bench_parallel_seq/v1"' "$out/bench_parallel_seq.json"
+grep -q '"summary"' "$out/bench_parallel.json"
+# jobs=1 dispatch-overhead gate on the committed result pair: the
+# jobs=1 wall clocks must sit within 5% of the sequential ones.
+dune exec tools/bench_diff.exe -- --threshold 1.05 \
+  results/BENCH_parallel_seq.json results/BENCH_parallel.json
+# Determinism golden: `--stable --jobs 4` must print byte-identical
+# output to `--stable --jobs 1` on every run — five runs, five diffs.
+# The plan, its cost and the DP-table occupancy are all in the output,
+# so any nondeterministic tie-break or lost csg-cmp-pair fails here.
+dune build bin/joinopt.exe
+dune exec bin/joinopt.exe -- shape -s cycle -n 10 --stable --jobs 1 \
+  > "$out/stable_ref.txt"
+for i in 1 2 3 4 5; do
+  dune exec bin/joinopt.exe -- shape -s cycle -n 10 --stable --jobs 4 \
+    > "$out/stable_j4.txt"
+  diff -u "$out/stable_ref.txt" "$out/stable_j4.txt"
+done
 # EXPLAIN ANALYZE smoke point: the analyze subcommand must produce an
 # obs_analyze/v1 document with per-operator estimates, actuals and
 # Q-errors plus the aggregate summary.  Schema drift fails here.
