@@ -26,6 +26,12 @@
                                               a FILE_seq.json companion for
                                               the bench_diff jobs=1 gate
                                               (see bench/parallel_bench.ml)
+     dune exec bench/main.exe -- --cache-json FILE
+                                              plan-cache replay throughput
+                                              (cold vs warm at jobs 1/2/4),
+                                              plus a FILE_cold.json companion
+                                              for the bench_diff 50x warm-hit
+                                              gate (see bench/cache_bench.ml)
 
    Experiment names: table1 fig5a fig5b table2 fig6a fig6b fig7 fig8a
    fig8b ccp xchain xclique xgen xgoo xtopdown xtpch xmem xcdc xqual
@@ -173,10 +179,15 @@ let () =
     | _ :: rest -> parallel_json rest
     | [] -> None
   in
+  let rec cache_json = function
+    | "--cache-json" :: path :: _ -> Some path
+    | _ :: rest -> cache_json rest
+    | [] -> None
+  in
   let rec positional = function
     | "--csv" :: _ :: rest | "--json" :: _ :: rest
     | "--adaptive-json" :: _ :: rest | "--profile-json" :: _ :: rest
-    | "--parallel-json" :: _ :: rest ->
+    | "--parallel-json" :: _ :: rest | "--cache-json" :: _ :: rest ->
         positional rest
     | a :: rest when String.length a > 0 && a.[0] <> '-' -> a :: positional rest
     | _ :: rest -> positional rest
@@ -184,11 +195,16 @@ let () =
   in
   let names = positional args in
   match
-    (json args, adaptive_json args, profile_json args, parallel_json args)
+    ( json args,
+      adaptive_json args,
+      profile_json args,
+      parallel_json args,
+      cache_json args )
   with
-  | Some path, _, _, _ -> Json_bench.run ~quick ~path names
-  | None, Some path, _, _ -> Adaptive_bench.write_json ~quick ~path ()
-  | None, None, Some path, _ -> Profile_bench.write_json ~quick ~path ()
-  | None, None, None, Some path -> Parallel_bench.write_json ~quick ~path ()
-  | None, None, None, None ->
+  | Some path, _, _, _, _ -> Json_bench.run ~quick ~path names
+  | None, Some path, _, _, _ -> Adaptive_bench.write_json ~quick ~path ()
+  | None, None, Some path, _, _ -> Profile_bench.write_json ~quick ~path ()
+  | None, None, None, Some path, _ -> Parallel_bench.write_json ~quick ~path ()
+  | None, None, None, None, Some path -> Cache_bench.write_json ~quick ~path ()
+  | None, None, None, None, None ->
       if bechamel then run_bechamel () else run_experiments ~quick names

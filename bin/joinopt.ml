@@ -5,6 +5,7 @@
      explain    optimize a SQL query and print the per-phase profile
      shape      generate a benchmark graph and optimize it
      analyze    EXPLAIN ANALYZE: per-operator est/actual rows + Q-error
+     cache-stats  replay a Zipf-skewed stream through a plan cache
      ccp        csg-cmp-pair counts (DPhyp vs. brute force)
      dot        Graphviz export of a query or shape hypergraph
      trace      csg-cmp-pair emission trace (the paper's Figure 3);
@@ -248,32 +249,63 @@ let optimize_cmd =
 (* explain: full-pipeline profile of one SQL query                     *)
 
 let explain_cmd =
-  let run sql algo model budget k jobs conservative trace_out =
-    let ctx = Obs.Span.create () in
+  let run sql algo model budget k jobs conservative cache_cap trace_out =
     let mode =
       if conservative then Driver.Pipeline.Tes_conservative
       else Driver.Pipeline.Tes_literal
     in
-    match
-      Driver.Pipeline.optimize_sql ~obs:ctx ~mode ~algo ~model ?budget ~k
-        ~jobs (read_sql sql)
-    with
-    | Error msg ->
-        Format.eprintf "error: %s@." msg;
-        1
-    | Ok r ->
-        Format.printf "plan: %a@.cost: %.4g   est. cardinality: %.4g@.@."
-          Plans.Plan.pp r.Driver.Pipeline.plan r.Driver.Pipeline.plan.cost
-          r.Driver.Pipeline.plan.card;
-        (match r.Driver.Pipeline.profile with
-        | Some p -> Format.printf "%a" Obs.Metrics.pp_table p
-        | None -> ());
-        (match trace_out with
-        | Some path ->
-            Obs.Sink.write_chrome path (Obs.Span.spans ctx);
-            Format.printf "span trace written to %s (open in Perfetto)@." path
-        | None -> ());
-        0
+    let go ?cache ctx =
+      Driver.Pipeline.optimize_sql ~obs:ctx ?cache ~mode ~algo ~model ?budget
+        ~k ~jobs (read_sql sql)
+    in
+    let report ctx (r : Driver.Pipeline.result) =
+      Format.printf "plan: %a@.cost: %.4g   est. cardinality: %.4g@.@."
+        Plans.Plan.pp r.plan r.plan.cost r.plan.card;
+      (match r.profile with
+      | Some p -> Format.printf "%a" Obs.Metrics.pp_table p
+      | None -> ());
+      (match trace_out with
+      | Some path ->
+          Obs.Sink.write_chrome path (Obs.Span.spans ctx);
+          Format.printf "span trace written to %s (open in Perfetto)@." path
+      | None -> ());
+      0
+    in
+    match cache_cap with
+    | None -> (
+        let ctx = Obs.Span.create () in
+        match go ctx with
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            1
+        | Ok r -> report ctx r)
+    | Some capacity -> (
+        (* first run fills the cache (miss), second is the profile the
+           user sees — its [cache] span carries the hit and the table
+           gains the plan-cache counter line *)
+        let cache = Driver.Pipeline.make_cache ~capacity () in
+        match go ~cache (Obs.Span.create ()) with
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            1
+        | Ok _ -> (
+            let ctx = Obs.Span.create () in
+            match go ~cache ctx with
+            | Error msg ->
+                Format.eprintf "error: %s@." msg;
+                1
+            | Ok r ->
+                Format.printf
+                  "second run through a plan cache of capacity %d:@." capacity;
+                report ctx r))
+  in
+  let cache_cap =
+    Arg.(value & opt (some int) None
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Run the query twice through a plan cache of capacity \
+                   $(docv) and print the second (warm) run's profile: the \
+                   $(b,cache) phase span replaces the enumeration time and \
+                   the profile gains the hit/miss/eviction counter line.")
   in
   Cmd.v
     (Cmd.info "explain"
@@ -283,7 +315,94 @@ let explain_cmd =
           derivation, enumeration with its tier/round sub-spans) with \
           wall-clock ms, minor-heap allocation and enumeration counters.")
     Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
-          $ jobs_arg $ conservative_arg $ trace_out_arg)
+          $ jobs_arg $ conservative_arg $ cache_cap $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* cache-stats: replay a synthetic stream through a plan cache         *)
+
+let cache_stats_cmd =
+  let run shape n variants requests alpha capacity jobs seed =
+    let gen i =
+      let p = { Workloads.Shapes.default_params with seed = seed + i } in
+      match shape with
+      | "chain" -> Workloads.Shapes.chain ~p n
+      | "cycle" -> Workloads.Shapes.cycle ~p n
+      | "star" -> Workloads.Shapes.star ~p n
+      | "clique" -> Workloads.Shapes.clique ~p n
+      | s ->
+          invalid_arg
+            (Printf.sprintf "unknown shape %S (chain, cycle, star or clique)"
+               s)
+    in
+    match
+      Workloads.Replay.of_generator ~seed ~alpha ~variants ~length:requests
+        gen
+    with
+    | exception Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | w ->
+        let cache = Driver.Pipeline.make_cache ~capacity () in
+        let failed = Atomic.make None in
+        let t0 = Unix.gettimeofday () in
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            Parallel.Pool.run_fun pool requests (fun i _wid ->
+                match
+                  Driver.Pipeline.optimize_graph ~cache
+                    (Workloads.Replay.graph w i)
+                with
+                | Ok _ -> ()
+                | Error m -> Atomic.set failed (Some m)));
+        let dt = Unix.gettimeofday () -. t0 in
+        (match Atomic.get failed with
+        | Some m ->
+            Format.eprintf "error: a replayed request failed: %s@." m;
+            1
+        | None ->
+            Format.printf
+              "replayed %d requests over %d %s-%d variants (zipf %.2f, %d \
+               touched) on %d domain%s@."
+              requests variants shape n alpha
+              (Workloads.Replay.distinct_requested w)
+              jobs
+              (if jobs = 1 then "" else "s");
+            Format.printf "cache: %a@." Cache.Plan_cache.pp_stats
+              (Cache.Plan_cache.stats cache);
+            Format.printf "throughput: %.0f plans/sec  (%.3f ms/request)@."
+              (float_of_int requests /. dt)
+              (dt *. 1e3 /. float_of_int requests);
+            0)
+  in
+  let variants =
+    Arg.(value & opt int 8
+         & info [ "variants" ]
+             ~doc:"Distinct query templates in the replay universe (same \
+                   shape, different catalog seeds).")
+  in
+  let requests =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~doc:"Length of the replay request stream.")
+  in
+  let alpha =
+    Arg.(value & opt float 1.0
+         & info [ "alpha" ]
+             ~doc:"Zipf skew exponent of template popularity (0 = uniform).")
+  in
+  let capacity =
+    Arg.(value & opt int 64 & info [ "capacity" ] ~doc:"Plan-cache capacity.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Stream and catalog seed.")
+  in
+  Cmd.v
+    (Cmd.info "cache-stats"
+       ~doc:
+         "Replay a Zipf-skewed synthetic query stream through a concurrent \
+          plan cache on a domain pool and print the hit/miss/coalesced/\
+          eviction counters and the served throughput — the \
+          optimizer-as-a-service serving loop in one command.")
+    Term.(const run $ shape_arg $ n_arg $ variants $ requests $ alpha
+          $ capacity $ jobs_arg $ seed)
 
 (* ------------------------------------------------------------------ *)
 (* shape: benchmark graphs                                             *)
@@ -643,7 +762,7 @@ let main =
   Cmd.group info
     [
       optimize_cmd; explain_cmd; analyze_cmd; run_cmd; shape_cmd; graph_cmd;
-      ccp_cmd; dot_cmd; trace_cmd; tpch_cmd;
+      cache_stats_cmd; ccp_cmd; dot_cmd; trace_cmd; tpch_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

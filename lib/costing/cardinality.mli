@@ -27,6 +27,16 @@ val selectivity_product : (Hypergraph.Hyperedge.t * 'a) list -> float
 (** Combined selectivity of a set of connecting edges (independence
     assumption: plain product). *)
 
+val card_bucket : float -> int
+(** Half-decade log bucket of a base cardinality ([0] for anything
+    ≤ 1).  Catalogs whose statistics fall in the same buckets are
+    close enough to share a plan-cache fingerprint; crossing a bucket
+    boundary changes the fingerprint (see [Cache.Fingerprint]). *)
+
+val sel_bucket : float -> int
+(** Half-decade log bucket of a selectivity in (0, 1]: [0] for 1.0,
+    increasingly negative toward 0 (e.g. 0.1 ↦ -2, 0.01 ↦ -4). *)
+
 val q_error : est:float -> actual:float -> float option
 (** The estimation-quality measure [max(est/actual, actual/est)]
     (symmetric, ≥ 1, with 1 = perfect).  NULL-safe: [None] when either

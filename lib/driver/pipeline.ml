@@ -15,6 +15,21 @@ type result = {
   profile : Obs.Metrics.profile option;
 }
 
+type plan_cache = Core.Optimizer.result Cache.Plan_cache.t
+
+let make_cache ?shards ~capacity () = Cache.Plan_cache.create ?shards ~capacity ()
+
+let cache_metrics c : Obs.Metrics.cache_stats =
+  let s = Cache.Plan_cache.stats c in
+  {
+    Obs.Metrics.cache_hits = s.Cache.Plan_cache.hits;
+    cache_misses = s.misses;
+    cache_coalesced = s.coalesced;
+    cache_evictions = s.evictions;
+    cache_entries = s.entries;
+    cache_capacity = s.capacity;
+  }
+
 let budget_error =
   "work budget exhausted before a plan was found (use the adaptive algorithm \
    for graceful degradation)"
@@ -33,8 +48,64 @@ let run_algo ?obs ?model ?filter ?budget ?k ~jobs algo graph =
     Parallel.Pool.with_pool ~jobs (fun pool ->
         Parallel.Par_dphyp.run ?obs ?model ?filter ?budget ~pool graph)
 
-let optimize_tree ?obs ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp)
-    ?model ?budget ?k ?(jobs = 1) ?cards ?sels tree =
+(* The exact cache key: every input that can change the returned plan
+   bytes.  The serialized graph carries node order, cardinalities,
+   selectivities, operators, free sets and edge order (edge ids are
+   file order); algorithm, cost model, budget and IDP block size are
+   prepended.  [jobs] is deliberately absent — parallel enumeration
+   is byte-identical to sequential for every jobs count, so one entry
+   serves all of them (the differential test sweeps jobs to prove
+   it). *)
+let exact_key ?model ?budget ?k algo graph =
+  Printf.sprintf "algo=%s model=%s budget=%s k=%d\n%s"
+    (Core.Optimizer.name algo)
+    (match model with
+    | Some (m : Costing.Cost_model.t) -> m.name
+    | None -> Costing.Cost_model.c_out.name)
+    (match budget with Some b -> string_of_int b | None -> "unlimited")
+    (Option.value k ~default:Core.Idp.default_k)
+    (Hypergraph.Serialize.to_string graph)
+
+(* Memoized enumeration.  A conflict-mode validity filter is a
+   closure the key cannot capture, so those runs bypass the cache
+   rather than risk serving a plan computed under a different filter.
+   On a miss the optimizer runs inside the requester's [cache] span
+   (so explain shows enumerate nested under cache); a hit or a
+   coalesced wait returns the memoized result untouched — the cached
+   plan is the exact value a fresh run would build, because the key
+   is exact. *)
+let run_cached ?obs ?cache ?model ?filter ?budget ?k ~jobs algo graph =
+  match cache with
+  | None -> run_algo ?obs ?model ?filter ?budget ?k ~jobs algo graph
+  | Some _ when filter <> None ->
+      run_algo ?obs ?model ?filter ?budget ?k ~jobs algo graph
+  | Some c ->
+      Obs.Span.with_opt obs "cache" (fun sp ->
+          let key =
+            Cache.Plan_cache.key
+              ~fingerprint:(Cache.Fingerprint.of_graph graph)
+              ~exact:(exact_key ?model ?budget ?k algo graph)
+          in
+          let r, outcome =
+            Cache.Plan_cache.find_or_compute c key (fun () ->
+                run_algo ?obs ?model ?budget ?k ~jobs algo graph)
+          in
+          Obs.Span.set_opt sp "cache"
+            (Obs.Span.Str (Cache.Plan_cache.outcome_name outcome));
+          r)
+
+let build_profile ?cache obs r =
+  Option.map
+    (fun ctx ->
+      let p = Core.Optimizer.profile ctx r in
+      match cache with
+      | Some c -> Obs.Metrics.with_cache p (cache_metrics c)
+      | None -> p)
+    obs
+
+let optimize_tree ?obs ?cache ?(mode = Tes_literal)
+    ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k ?(jobs = 1) ?cards ?sels
+    tree =
   match Ot.validate tree with
   | Error e -> Error ("invalid operator tree: " ^ Ot.error_to_string e)
   | Ok () -> (
@@ -79,7 +150,9 @@ let optimize_tree ?obs ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp)
                 support"
                (Core.Optimizer.name algo))
       | _ -> (
-          match run_algo ?obs ?model ?filter ?budget ?k ~jobs algo graph with
+          match
+            run_cached ?obs ?cache ?model ?filter ?budget ?k ~jobs algo graph
+          with
           | { plan = Some plan; counters; tier; _ } as r ->
               Ok
                 {
@@ -88,23 +161,23 @@ let optimize_tree ?obs ?(mode = Tes_literal) ?(algo = Core.Optimizer.Dphyp)
                   plan;
                   counters;
                   tier;
-                  profile =
-                    Option.map (fun ctx -> Core.Optimizer.profile ctx r) obs;
+                  profile = build_profile ?cache obs r;
                 }
           | { plan = None; _ } -> Error "no valid plan found"
           | exception Invalid_argument m -> Error m
           | exception Core.Counters.Budget_exhausted -> Error budget_error))
 
-let optimize_sql ?obs ?mode ?algo ?model ?budget ?k ?jobs ?cards ?sels sql =
+let optimize_sql ?obs ?cache ?mode ?algo ?model ?budget ?k ?jobs ?cards ?sels
+    sql =
   match Obs.Span.with_opt obs "parse" (fun _ -> Sqlfront.Binder.parse_and_bind sql) with
   | Error m -> Error m
   | Ok bound ->
-      optimize_tree ?obs ?mode ?algo ?model ?budget ?k ?jobs ?cards ?sels
-        bound.tree
+      optimize_tree ?obs ?cache ?mode ?algo ?model ?budget ?k ?jobs ?cards
+        ?sels bound.tree
 
-let optimize_graph ?obs ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k
-    ?(jobs = 1) graph =
-  match run_algo ?obs ?model ?budget ?k ~jobs algo graph with
+let optimize_graph ?obs ?cache ?(algo = Core.Optimizer.Dphyp) ?model ?budget
+    ?k ?(jobs = 1) graph =
+  match run_cached ?obs ?cache ?model ?budget ?k ~jobs algo graph with
   | { plan = Some plan; counters; tier; _ } as r ->
       let tree =
         Obs.Span.with_opt obs "plan-emit" (fun _ ->
@@ -117,7 +190,7 @@ let optimize_graph ?obs ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k
           plan;
           counters;
           tier;
-          profile = Option.map (fun ctx -> Core.Optimizer.profile ctx r) obs;
+          profile = build_profile ?cache obs r;
         }
   | { plan = None; _ } -> Error "no valid plan found"
   | exception Invalid_argument m -> Error m
@@ -129,13 +202,18 @@ let optimize_graph ?obs ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k
    but the optional sink — and Obs.Sink.emit is serialized by a
    process-wide mutex, so all per-query span contexts may stream into
    one [?sink]. *)
-let run_batch ?sink ?mode ?algo ?model ?budget ?k ~jobs trees =
+let run_batch ?sink ?pool ?cache ?mode ?algo ?model ?budget ?k ~jobs trees =
   let trees = Array.of_list trees in
   let out = Array.make (Array.length trees) (Error "query was not run") in
-  Parallel.Pool.with_pool ~jobs (fun pool ->
-      Parallel.Pool.run_fun pool (Array.length trees) (fun i _wid ->
-          let obs = Option.map (fun sink -> Obs.Span.create ~sink ()) sink in
-          out.(i) <- optimize_tree ?obs ?mode ?algo ?model ?budget ?k trees.(i)));
+  let go pool =
+    Parallel.Pool.run_fun pool (Array.length trees) (fun i _wid ->
+        let obs = Option.map (fun sink -> Obs.Span.create ~sink ()) sink in
+        out.(i) <-
+          optimize_tree ?obs ?cache ?mode ?algo ?model ?budget ?k trees.(i))
+  in
+  (match pool with
+  | Some pool -> go pool
+  | None -> Parallel.Pool.with_pool ~jobs go);
   Array.to_list out
 
 let verify_on_data ?(rows = 8) ?(seed = 42) r =

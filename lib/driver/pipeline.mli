@@ -35,8 +35,30 @@ val budget_error : string
 (** The message every entry point returns when a non-adaptive
     algorithm exhausts its work budget. *)
 
+type plan_cache = Core.Optimizer.result Cache.Plan_cache.t
+(** A concurrent memoized plan cache for repeated optimizer traffic.
+    One cache may serve every entry point of this module from any
+    number of domains at once (it is the {!run_batch} companion for
+    replayed workloads).  Keys are exact — canonical fingerprint for
+    sharding plus the verbatim serialized graph and optimizer
+    parameters — so a hit returns a result byte-identical (plan tree,
+    cost, counters, tier) to what a fresh enumeration would produce.
+    [jobs] is not part of the key: parallel enumeration output is
+    byte-identical to sequential, so one entry serves every jobs
+    count.  Conflict modes that need a validity filter
+    ({!Tes_generate_and_test}, {!Cdc}) bypass the cache — a filter is
+    a closure the key cannot capture. *)
+
+val make_cache : ?shards:int -> capacity:int -> unit -> plan_cache
+(** [Cache.Plan_cache.create] at the pipeline's value type. *)
+
+val cache_metrics : plan_cache -> Obs.Metrics.cache_stats
+(** Snapshot the cache counters into the plain-int record profiles
+    carry (what [joinopt cache-stats] prints). *)
+
 val optimize_tree :
   ?obs:Obs.Span.ctx ->
+  ?cache:plan_cache ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
@@ -61,10 +83,19 @@ val optimize_tree :
     only DPhyp has a parallel decomposition, so [jobs > 1] with any
     other algorithm is an [Error].  [Error] carries a human-readable
     reason (invalid tree, no plan, algorithm/filter mismatch, budget
-    exhausted). *)
+    exhausted).
+
+    [?cache] memoizes the enumeration step: the lookup (and, on a
+    miss, the nested enumeration) runs under a [cache] span whose
+    [cache] attribute records [hit] / [miss] / [coalesced], and the
+    result's [profile] gains the cache-counter snapshot.  Parse,
+    simplification, conflict analysis and graph derivation always run
+    — they produce the key — so a hit costs one fingerprint plus one
+    serialization instead of an enumeration. *)
 
 val optimize_sql :
   ?obs:Obs.Span.ctx ->
+  ?cache:plan_cache ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
@@ -79,6 +110,7 @@ val optimize_sql :
 
 val optimize_graph :
   ?obs:Obs.Span.ctx ->
+  ?cache:plan_cache ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
   ?budget:int ->
@@ -92,6 +124,8 @@ val optimize_graph :
 
 val run_batch :
   ?sink:Obs.Sink.t ->
+  ?pool:Parallel.Pool.t ->
+  ?cache:plan_cache ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
@@ -104,11 +138,18 @@ val run_batch :
     concurrently on a pool of [jobs] domains (one task per query,
     each query running the ordinary sequential pipeline), returning
     per-query results in input order.  Queries share nothing but the
-    optional [?sink]: each gets a private span context whose spans
-    stream into it ({!Obs.Sink.emit} is thread-safe), and its profile
-    lands in the query's own [result].  A task that raises something
-    other than the pipeline's handled errors aborts the whole
-    batch. *)
+    optional [?sink] and [?cache]: each gets a private span context
+    whose spans stream into the sink ({!Obs.Sink.emit} is
+    thread-safe), its profile lands in the query's own [result], and
+    cache hits/misses/coalesced waits are safe from every worker
+    domain (duplicate queries within one batch are optimized once —
+    single flight).  [?pool] reuses an existing Domain pool across
+    batches — the replay-serving configuration, keeping workers warm
+    instead of spawning a pool per call — in which case [jobs] is
+    ignored and the pool's own worker count applies; by default a
+    fresh pool of [jobs] domains is created and shut down, exactly
+    as before.  A task that raises something other than the
+    pipeline's handled errors aborts the whole batch. *)
 
 val verify_on_data :
   ?rows:int -> ?seed:int -> result -> (int, string) Result.t

@@ -18,6 +18,15 @@ type quality = {
   delta : float option;
 }
 
+type cache_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_coalesced : int;
+  cache_evictions : int;
+  cache_entries : int;
+  cache_capacity : int;
+}
+
 type profile = {
   spans : Sink.span list;
   total_s : float;
@@ -26,18 +35,21 @@ type profile = {
   tiers : tier_attempt list;
   winning_tier : string option;
   quality : quality option;
+  cache : cache_stats option;
 }
 
 let make ?counters ?(dp_entries = 0) ?(tiers = []) ?winning_tier ?quality
-    ~total_s spans =
+    ?cache ~total_s spans =
   let spans =
     List.stable_sort
       (fun (a : Sink.span) (b : Sink.span) -> compare a.start_s b.start_s)
       spans
   in
-  { spans; total_s; counters; dp_entries; tiers; winning_tier; quality }
+  { spans; total_s; counters; dp_entries; tiers; winning_tier; quality; cache }
 
 let with_quality p q = { p with quality = Some q }
+
+let with_cache p c = { p with cache = Some c }
 
 (* ---------- JSON (obs_profile/v1) ---------- *)
 
@@ -59,6 +71,13 @@ let tier_json t =
 let opt_float_json = function
   | None -> "null"
   | Some f -> Printf.sprintf "%.4f" f
+
+let cache_json c =
+  Printf.sprintf
+    "{\"hits\": %d, \"misses\": %d, \"coalesced\": %d, \"evictions\": %d, \
+     \"entries\": %d, \"capacity\": %d}"
+    c.cache_hits c.cache_misses c.cache_coalesced c.cache_evictions
+    c.cache_entries c.cache_capacity
 
 let quality_json q =
   Printf.sprintf
@@ -83,6 +102,8 @@ let to_json ?(name = "run") p =
     (String.concat ", " (List.map tier_json p.tiers));
   Printf.bprintf b "      \"quality\": %s,\n"
     (match p.quality with Some q -> quality_json q | None -> "null");
+  Printf.bprintf b "      \"cache\": %s,\n"
+    (match p.cache with Some c -> cache_json c | None -> "null");
   Buffer.add_string b "      \"spans\": [\n";
   Buffer.add_string b
     (String.concat ",\n"
@@ -155,5 +176,13 @@ let pp_table ppf p =
         | Some e, Some d ->
             Printf.sprintf "  vs exact plan %.4g = %.2fx" e d
         | _ -> "")
+  | None -> ());
+  (match p.cache with
+  | Some c ->
+      Format.fprintf ppf
+        "plan cache: hits=%d misses=%d coalesced=%d evictions=%d \
+         entries=%d/%d@."
+        c.cache_hits c.cache_misses c.cache_coalesced c.cache_evictions
+        c.cache_entries c.cache_capacity
   | None -> ());
   Format.fprintf ppf "dp entries: %d@." p.dp_entries

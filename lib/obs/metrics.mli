@@ -44,6 +44,20 @@ type quality = {
     adaptive ladder's quality/time tradeoff is grounded in executed
     row counts, not estimates. *)
 
+type cache_stats = {
+  cache_hits : int;
+  cache_misses : int;
+  cache_coalesced : int;  (** requests served by a concurrent miss *)
+  cache_evictions : int;
+  cache_entries : int;  (** resident entries at snapshot time *)
+  cache_capacity : int;
+}
+(** Plan-cache counter snapshot — what [joinopt explain] and
+    [joinopt cache-stats] report when the run went through a
+    [Cache.Plan_cache].  Like {!counters} this is a plain-int record:
+    the live (atomic) counters belong to the cache library, which
+    sits above [obs]. *)
+
 type profile = {
   spans : Sink.span list;  (** chronological by start time *)
   total_s : float;  (** wall clock of the whole observed run *)
@@ -52,6 +66,7 @@ type profile = {
   tiers : tier_attempt list;  (** adaptive ladder attempts, in order *)
   winning_tier : string option;
   quality : quality option;  (** measured plan quality, when executed *)
+  cache : cache_stats option;  (** plan-cache snapshot, when one was used *)
 }
 
 val make :
@@ -60,6 +75,7 @@ val make :
   ?tiers:tier_attempt list ->
   ?winning_tier:string ->
   ?quality:quality ->
+  ?cache:cache_stats ->
   total_s:float ->
   Sink.span list ->
   profile
@@ -69,6 +85,10 @@ val with_quality : profile -> quality -> profile
 (** Attach a measured-quality record to an already-built profile (the
     optimizer builds profiles before any plan is executed; EXPLAIN
     ANALYZE adds the measurement afterwards). *)
+
+val with_cache : profile -> cache_stats -> profile
+(** Attach a plan-cache snapshot (the driver adds it after the
+    optimizer built the base profile, mirroring {!with_quality}). *)
 
 val to_json : ?name:string -> profile -> string
 (** One [obs_profile/v1] profile object (without the top-level schema

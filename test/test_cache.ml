@@ -1,0 +1,368 @@
+(* Plan-cache layer: fingerprint invariances (qcheck), eviction and
+   single-flight semantics of the concurrent cache, and the
+   differential guarantee that a cached plan is byte-identical to a
+   fresh uncached enumeration across algorithms, modes and jobs. *)
+
+module Fp = Cache.Fingerprint
+module Pc = Cache.Plan_cache
+module G = Hypergraph.Graph
+module He = Hypergraph.Hyperedge
+module Ns = Nodeset.Node_set
+
+let check = Alcotest.(check bool)
+
+(* ---------- graph surgery helpers ---------- *)
+
+let map_set perm s = Ns.fold (fun i acc -> Ns.add perm.(i) acc) s Ns.empty
+
+(* Relabel relations under a permutation: node i of [g] becomes node
+   [perm.(i)], with every hypernode and free set mapped along.  The
+   query is the same up to naming, so the fingerprint must not move. *)
+let relabel perm g =
+  let n = G.num_nodes g in
+  let rels = Array.make n (G.relation g 0) in
+  for i = 0 to n - 1 do
+    let r = G.relation g i in
+    rels.(perm.(i)) <- { r with G.free = map_set perm r.G.free }
+  done;
+  let edges =
+    Array.map
+      (fun (e : He.t) ->
+        He.make ~id:e.He.id ~w:(map_set perm e.He.w) ~op:e.He.op
+          ~pred:e.He.pred ~sel:e.He.sel ~aggs:e.He.aggs (map_set perm e.He.u)
+          (map_set perm e.He.v))
+      (G.edges g)
+  in
+  G.make rels edges
+
+(* Same edges in a different file order (ids renumbered to match). *)
+let reorder_edges eperm g =
+  let edges = G.edges g in
+  let out =
+    Array.init (Array.length edges) (fun i ->
+        let e = edges.(eperm.(i)) in
+        He.make ~id:i ~w:e.He.w ~op:e.He.op ~pred:e.He.pred ~sel:e.He.sel
+          ~aggs:e.He.aggs e.He.u e.He.v)
+  in
+  G.make (Array.init (G.num_nodes g) (G.relation g)) out
+
+let with_card i card g =
+  let rels =
+    Array.init (G.num_nodes g) (fun j ->
+        let r = G.relation g j in
+        if j = i then { r with G.card } else r)
+  in
+  G.make rels (G.edges g)
+
+let with_sel id sel g =
+  let edges =
+    Array.map
+      (fun (e : He.t) ->
+        if e.He.id = id then
+          He.make ~id:e.He.id ~w:e.He.w ~op:e.He.op ~pred:e.He.pred ~sel
+            ~aggs:e.He.aggs e.He.u e.He.v
+        else e)
+      (G.edges g)
+  in
+  G.make (Array.init (G.num_nodes g) (G.relation g)) edges
+
+let random_perm rng n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let random_graph seed =
+  Workloads.Random_graphs.hyper ~seed:((7919 * seed) + 13)
+    ~n:(4 + (seed mod 4))
+    ~extra_edges:(seed mod 3)
+    ~hyperedges:(1 + (seed mod 2))
+    ~max_hypernode:3 ()
+
+(* ---------- fingerprint properties (qcheck) ---------- *)
+
+let fp_relabel_invariant =
+  QCheck.Test.make ~name:"invariant under relation relabeling" ~count:60
+    QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      let perm = random_perm (Random.State.make [| seed; 77 |]) (G.num_nodes g) in
+      Fp.equal (Fp.of_graph g) (Fp.of_graph (relabel perm g)))
+
+let fp_edge_order_invariant =
+  QCheck.Test.make ~name:"invariant under edge reordering" ~count:60
+    QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      let eperm = random_perm (Random.State.make [| seed; 19 |]) (G.num_edges g) in
+      Fp.equal (Fp.of_graph g) (Fp.of_graph (reorder_edges eperm g)))
+
+let fp_deterministic =
+  QCheck.Test.make ~name:"no address-based hashing (recompute = same)"
+    ~count:60 QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      (* a structurally identical rebuild lives at different addresses *)
+      let g' =
+        G.make
+          (Array.init (G.num_nodes g) (G.relation g))
+          (Array.map Fun.id (G.edges g))
+      in
+      Fp.equal (Fp.of_graph g) (Fp.of_graph g')
+      && Fp.to_hex (Fp.of_graph g) = Fp.to_hex (Fp.of_graph g'))
+
+(* Crossing a half-decade cardinality or selectivity bucket must move
+   the fingerprint; drifting within one bucket must not.  The drifted
+   stat is placed a quarter of the way into the same bucket, so it is
+   in-bucket by construction (a fixed relative nudge could straddle a
+   boundary for unlucky seeds). *)
+let same_bucket_value b = Float.pow 10.0 ((float_of_int b +. 0.25) /. 2.0)
+
+let fp_card_bucket =
+  QCheck.Test.make ~name:"cardinality buckets separate / drift sticks"
+    ~count:40 QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      let i = seed mod G.num_nodes g in
+      let fp = Fp.of_graph g in
+      let jumped = Fp.of_graph (with_card i 3.0e6 g) in
+      let b = Costing.Cardinality.card_bucket (G.cardinality g i) in
+      let drifted = Fp.of_graph (with_card i (same_bucket_value b) g) in
+      (not (Fp.equal fp jumped)) && Fp.equal fp drifted)
+
+let fp_sel_bucket =
+  QCheck.Test.make ~name:"selectivity buckets separate / drift sticks"
+    ~count:40 QCheck.small_nat (fun seed ->
+      let g = random_graph seed in
+      let id = seed mod G.num_edges g in
+      let fp = Fp.of_graph g in
+      let jumped = Fp.of_graph (with_sel id 1e-6 g) in
+      let b = Costing.Cardinality.sel_bucket (G.edge g id).He.sel in
+      let drifted = Fp.of_graph (with_sel id (same_bucket_value b) g) in
+      (not (Fp.equal fp jumped)) && Fp.equal fp drifted)
+
+(* Golden value: the fingerprint is part of the cache's on-the-wire
+   behavior (shard routing, future persistence), so an accidental
+   change to the mixing scheme should fail loudly, not silently
+   re-shuffle every cache. *)
+let test_fp_golden () =
+  Alcotest.(check string)
+    "pinned star-4 fingerprint" "19a2e4ca75084c3a"
+    (Fp.to_hex (Fp.of_graph (Workloads.Shapes.star 4)))
+
+(* ---------- cache mechanics ---------- *)
+
+let mk_key tag seed =
+  Pc.key ~fingerprint:(Fp.of_graph (random_graph seed)) ~exact:tag
+
+let test_hit_miss_counting () =
+  let c = Pc.create ~capacity:8 () in
+  let v, o = Pc.find_or_compute c (mk_key "a" 1) (fun () -> 1) in
+  Alcotest.(check int) "computed" 1 v;
+  check "first is a miss" true (o = Pc.Miss);
+  let v, o = Pc.find_or_compute c (mk_key "a" 1) (fun () -> 99) in
+  Alcotest.(check int) "served from cache" 1 v;
+  check "second is a hit" true (o = Pc.Hit);
+  ignore (Pc.find_or_compute c (mk_key "b" 2) (fun () -> 2));
+  let s = Pc.stats c in
+  Alcotest.(check int) "hits" 1 s.Pc.hits;
+  Alcotest.(check int) "misses" 2 s.Pc.misses;
+  Alcotest.(check int) "entries" 2 s.Pc.entries;
+  check "find peeks" true (Pc.find c (mk_key "b" 2) = Some 2);
+  check "find misses absent" true (Pc.find c (mk_key "c" 3) = None)
+
+let test_capacity_eviction () =
+  let c = Pc.create ~shards:1 ~capacity:4 () in
+  for i = 0 to 5 do
+    ignore
+      (Pc.find_or_compute c (mk_key (string_of_int i) i) (fun () -> i))
+  done;
+  let s = Pc.stats c in
+  Alcotest.(check int) "bounded" 4 s.Pc.entries;
+  Alcotest.(check int) "evictions counted" 2 s.Pc.evictions
+
+(* GreedyDual: an expensive-to-recompute entry must outlive cheap ones
+   under pressure, even when the cheap ones are equally recent. *)
+let test_cost_aware_eviction () =
+  let c = Pc.create ~shards:1 ~capacity:4 () in
+  let insert tag cost_s =
+    ignore
+      (Pc.find_or_compute c (mk_key tag 0) (fun () ->
+           if cost_s > 0.0 then Unix.sleepf cost_s;
+           tag))
+  in
+  insert "cheap1" 0.0;
+  insert "expensive" 0.05;
+  insert "cheap2" 0.0;
+  insert "cheap3" 0.0;
+  (* two more insertions evict the two lowest-priority entries; both
+     victims must be cheap ones *)
+  insert "cheap4" 0.0;
+  insert "cheap5" 0.0;
+  check "expensive entry survives pressure" true
+    (Pc.find c (mk_key "expensive" 0) = Some "expensive");
+  Alcotest.(check int) "evicted two" 2 (Pc.stats c).Pc.evictions
+
+let test_single_flight () =
+  let c = Pc.create ~capacity:8 () in
+  let computed = Atomic.make 0 in
+  let key = mk_key "flight" 5 in
+  let work () =
+    Pc.find_or_compute c key (fun () ->
+        Atomic.incr computed;
+        Unix.sleepf 0.05;
+        "value")
+  in
+  let d = Domain.spawn work in
+  let v1, _o1 = work () in
+  let v2, _o2 = Domain.join d in
+  Alcotest.(check string) "both served" "valuevalue" (v1 ^ v2);
+  Alcotest.(check int) "computed exactly once" 1 (Atomic.get computed);
+  let s = Pc.stats c in
+  Alcotest.(check int) "one miss" 1 s.Pc.misses;
+  Alcotest.(check int) "other request coalesced or hit" 1
+    (s.Pc.hits + s.Pc.coalesced)
+
+let test_failure_recovery () =
+  let c = Pc.create ~capacity:8 () in
+  let key = mk_key "boom" 6 in
+  (match Pc.find_or_compute c key (fun () -> failwith "boom") with
+  | _ -> Alcotest.fail "exception must propagate"
+  | exception Failure m -> Alcotest.(check string) "original exn" "boom" m);
+  (* the in-flight marker is gone: the key is computable again *)
+  let v, o = Pc.find_or_compute c key (fun () -> "ok") in
+  Alcotest.(check string) "recomputed after failure" "ok" v;
+  check "fresh miss" true (o = Pc.Miss)
+
+(* ---------- cached plans are byte-identical to fresh ones ---------- *)
+
+let render (r : (Driver.Pipeline.result, string) Result.t) =
+  match r with
+  | Error m -> "error: " ^ m
+  | Ok r ->
+      Printf.sprintf "%s cost=%.17g card=%.17g tier=%s"
+        (Plans.Plan.to_string r.Driver.Pipeline.plan)
+        r.Driver.Pipeline.plan.Plans.Plan.cost
+        r.Driver.Pipeline.plan.Plans.Plan.card
+        (match r.Driver.Pipeline.tier with
+        | Some t -> Core.Adaptive.tier_name t
+        | None -> "-")
+
+let test_differential_graphs () =
+  let cache = Driver.Pipeline.make_cache ~capacity:256 () in
+  List.iter
+    (fun seed ->
+      let g = random_graph seed in
+      List.iter
+        (fun algo ->
+          let fresh = render (Driver.Pipeline.optimize_graph ~algo g) in
+          (* miss then hit: both must equal the uncached render *)
+          let miss = render (Driver.Pipeline.optimize_graph ~cache ~algo g) in
+          let hit = render (Driver.Pipeline.optimize_graph ~cache ~algo g) in
+          let name =
+            Printf.sprintf "seed %d %s" seed (Core.Optimizer.name algo)
+          in
+          Alcotest.(check string) (name ^ ": miss = fresh") fresh miss;
+          Alcotest.(check string) (name ^ ": hit = fresh") fresh hit)
+        Core.Optimizer.all)
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_differential_jobs () =
+  let cache = Driver.Pipeline.make_cache ~capacity:64 () in
+  let g = Workloads.Shapes.star 7 in
+  let fresh = render (Driver.Pipeline.optimize_graph g) in
+  List.iter
+    (fun jobs ->
+      let cached =
+        render (Driver.Pipeline.optimize_graph ~cache ~jobs g)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d same bytes through cache" jobs)
+        fresh cached)
+    [ 1; 2; 3; 4 ];
+  (* jobs is not part of the key: one entry served all four sweeps *)
+  Alcotest.(check int) "one miss across the jobs sweep" 1
+    (Pc.stats cache).Pc.misses
+
+let batch_sql =
+  [
+    "SELECT * FROM a, b, c WHERE a.x = b.x AND b.y = c.y";
+    "SELECT * FROM a, b, c, d WHERE a.x = b.x AND b.y = c.y AND c.z = d.z \
+     AND d.w = a.w";
+    "SELECT * FROM h, s1, s2, s3 WHERE h.a = s1.a AND h.b = s2.b AND h.c = \
+     s3.c";
+  ]
+
+let tree_of sql =
+  match Sqlfront.Binder.parse_and_bind sql with
+  | Ok b -> b.Sqlfront.Binder.tree
+  | Error m -> Alcotest.failf "parse %S: %s" sql m
+
+let test_differential_modes () =
+  let cache = Driver.Pipeline.make_cache ~capacity:64 () in
+  List.iter
+    (fun sql ->
+      let tree = tree_of sql in
+      List.iter
+        (fun mode ->
+          let fresh = render (Driver.Pipeline.optimize_tree ~mode tree) in
+          let miss =
+            render (Driver.Pipeline.optimize_tree ~cache ~mode tree)
+          in
+          let hit =
+            render (Driver.Pipeline.optimize_tree ~cache ~mode tree)
+          in
+          Alcotest.(check string) (sql ^ ": miss = fresh") fresh miss;
+          Alcotest.(check string) (sql ^ ": hit = fresh") fresh hit)
+        [ Driver.Pipeline.Tes_literal; Driver.Pipeline.Tes_conservative ])
+    batch_sql
+
+(* Modes whose validity filter is a closure must bypass the cache:
+   same answer as uncached, and the cache counters never move. *)
+let test_filter_mode_bypass () =
+  let cache = Driver.Pipeline.make_cache ~capacity:64 () in
+  let tree = tree_of (List.hd batch_sql) in
+  List.iter
+    (fun mode ->
+      let fresh = render (Driver.Pipeline.optimize_tree ~mode tree) in
+      let cached =
+        render (Driver.Pipeline.optimize_tree ~cache ~mode tree)
+      in
+      Alcotest.(check string) "bypass preserves the answer" fresh cached)
+    [ Driver.Pipeline.Tes_generate_and_test; Driver.Pipeline.Cdc ];
+  let s = Pc.stats cache in
+  Alcotest.(check int) "no hits" 0 s.Pc.hits;
+  Alcotest.(check int) "no misses" 0 s.Pc.misses
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "fingerprint",
+        [
+          QCheck_alcotest.to_alcotest fp_relabel_invariant;
+          QCheck_alcotest.to_alcotest fp_edge_order_invariant;
+          QCheck_alcotest.to_alcotest fp_deterministic;
+          QCheck_alcotest.to_alcotest fp_card_bucket;
+          QCheck_alcotest.to_alcotest fp_sel_bucket;
+          Alcotest.test_case "golden hex" `Quick test_fp_golden;
+        ] );
+      ( "plan_cache",
+        [
+          Alcotest.test_case "hit/miss counting" `Quick test_hit_miss_counting;
+          Alcotest.test_case "capacity eviction" `Quick
+            test_capacity_eviction;
+          Alcotest.test_case "cost-aware eviction" `Quick
+            test_cost_aware_eviction;
+          Alcotest.test_case "single flight" `Quick test_single_flight;
+          Alcotest.test_case "failure recovery" `Quick test_failure_recovery;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "graphs x algorithms" `Quick
+            test_differential_graphs;
+          Alcotest.test_case "jobs sweep" `Quick test_differential_jobs;
+          Alcotest.test_case "conflict modes" `Quick test_differential_modes;
+          Alcotest.test_case "filter modes bypass" `Quick
+            test_filter_mode_bypass;
+        ] );
+    ]

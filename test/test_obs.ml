@@ -122,6 +122,39 @@ let test_jsonl_concurrent_emit () =
             && contains line "\"round\""))
         lines)
 
+(* Two domains hammering one plan cache: the atomic counters the
+   Metrics cache_stats snapshot reads must conserve — every request is
+   exactly one of hit / miss / coalesced, no increment may be lost to
+   a data race, and with capacity above the key universe the misses
+   are exactly the distinct keys. *)
+let test_cache_counter_hammer () =
+  let cache = Cache.Plan_cache.create ~capacity:64 () in
+  let distinct = 10 and rounds = 400 in
+  let fp = Cache.Fingerprint.of_graph (Workloads.Shapes.star 4) in
+  let hammer tag =
+    for i = 0 to rounds - 1 do
+      let k =
+        Cache.Plan_cache.key ~fingerprint:fp
+          ~exact:(string_of_int (i mod distinct))
+      in
+      let v, _ = Cache.Plan_cache.find_or_compute cache k (fun () -> i mod distinct) in
+      if v <> i mod distinct then
+        Alcotest.failf "%s: wrong value for key %d" tag (i mod distinct)
+    done
+  in
+  let d = Domain.spawn (fun () -> hammer "left") in
+  hammer "right";
+  Domain.join d;
+  let s = Cache.Plan_cache.stats cache in
+  Alcotest.(check int) "every request accounted for" (2 * rounds)
+    (s.Cache.Plan_cache.hits + s.Cache.Plan_cache.misses
+   + s.Cache.Plan_cache.coalesced);
+  Alcotest.(check int) "each key computed exactly once" distinct
+    s.Cache.Plan_cache.misses;
+  Alcotest.(check int) "no evictions below capacity" 0
+    s.Cache.Plan_cache.evictions;
+  Alcotest.(check int) "all keys resident" distinct s.Cache.Plan_cache.entries
+
 let () =
   Alcotest.run "obs"
     [
@@ -135,5 +168,10 @@ let () =
             test_memory_concurrent_emit;
           Alcotest.test_case "jsonl sink: two-domain emit" `Quick
             test_jsonl_concurrent_emit;
+        ] );
+      ( "cache counters",
+        [
+          Alcotest.test_case "two-domain hammer conserves counters" `Quick
+            test_cache_counter_hammer;
         ] );
     ]

@@ -252,6 +252,39 @@ let test_run_batch_shared_sink () =
   Alcotest.(check int) "one enumerate span per query"
     (List.length batch_sql) (List.length enum_spans)
 
+(* ?pool reuse: two batches on one externally owned pool — the serving
+   configuration — must run on that pool (its batch counter moves) and
+   the pool must survive for the caller, producing the same plans as
+   the own-pool path. *)
+let test_run_batch_pool_reuse () =
+  let trees = batch_trees () in
+  let own_pool = Driver.Pipeline.run_batch ~jobs:2 trees in
+  P.with_pool ~jobs:2 (fun pool ->
+      let b0 = (P.stats pool).P.batches in
+      let first = Driver.Pipeline.run_batch ~pool ~jobs:7 trees in
+      let second = Driver.Pipeline.run_batch ~pool ~jobs:7 trees in
+      Alcotest.(check int) "both batches ran on the given pool" (b0 + 2)
+        (P.stats pool).P.batches;
+      List.iter
+        (fun results ->
+          List.iteri
+            (fun i (a, b) ->
+              match (a, b) with
+              | Ok a, Ok b ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "query %d: same plan on reused pool" i)
+                    (Plans.Plan.to_string a.Driver.Pipeline.plan)
+                    (Plans.Plan.to_string b.Driver.Pipeline.plan)
+              | Error a, Error b ->
+                  Alcotest.(check string) "same error" a b
+              | _ -> Alcotest.failf "query %d: Ok/Error mismatch" i)
+            (List.combine own_pool results))
+        [ first; second ];
+      (* the pool is still usable after run_batch returned *)
+      let ran = ref false in
+      P.run_fun pool 1 (fun _ _ -> ran := true);
+      Alcotest.(check bool) "pool survives run_batch" true !ran)
+
 let () =
   Alcotest.run "parallel"
     [
@@ -291,5 +324,7 @@ let () =
             test_run_batch;
           Alcotest.test_case "shared sink collects all queries" `Quick
             test_run_batch_shared_sink;
+          Alcotest.test_case "reuses an external pool" `Quick
+            test_run_batch_pool_reuse;
         ] );
     ]

@@ -78,6 +78,26 @@ for i in 1 2 3 4 5; do
     > "$out/stable_j4.txt"
   diff -u "$out/stable_ref.txt" "$out/stable_j4.txt"
 done
+# Plan-cache smoke point: the replay bench must emit a bench_cache/v1
+# document (plus its _cold companion) with the hit ratio and per-jobs
+# warm throughput; the bench itself aborts if any cache hit's plan
+# differs from a fresh uncached enumeration.
+dune exec bench/main.exe -- --quick --cache-json "$out/bench_cache.json"
+grep -q '"schema": "bench_cache/v1"' "$out/bench_cache.json"
+grep -q '"hit_ratio"' "$out/bench_cache.json"
+grep -q '"plans_per_sec"' "$out/bench_cache.json"
+grep -q '"schema": "bench_cache_cold/v1"' "$out/bench_cache_cold.json"
+# warm-hit throughput gate, quick pair: a warm hit must cost at most
+# 2% of a cold enumeration (>= 50x throughput)
+dune exec tools/bench_diff.exe -- --threshold 0.02 \
+  "$out/bench_cache_cold.json" "$out/bench_cache.json"
+# and the same gate on the committed star-16 replay results
+dune exec tools/bench_diff.exe -- --threshold 0.02 \
+  results/BENCH_cache_cold.json results/BENCH_cache.json
+# cache-stats CLI smoke: replay a small stream and print the counters
+dune build bin/joinopt.exe
+dune exec bin/joinopt.exe -- cache-stats -s star -n 8 --variants 3 \
+  --requests 40 --capacity 16 --jobs 2 | grep -q 'hits='
 # EXPLAIN ANALYZE smoke point: the analyze subcommand must produce an
 # obs_analyze/v1 document with per-operator estimates, actuals and
 # Q-errors plus the aggregate summary.  Schema drift fails here.
