@@ -524,6 +524,10 @@ let xspace ~quick:_ () =
    bench/adaptive_bench.ml, shared with the --adaptive-json writer) *)
 let xadaptive ~quick () = Adaptive_bench.table ~quick ()
 
+(* X12: the 100+ relation partitioned tier (full implementation in
+   bench/large_bench.ml, shared with the --large-json writer) *)
+let xlarge ~quick () = Large_bench.table ~quick ()
+
 let all_experiments =
   [
     ("table1", table1);
@@ -547,4 +551,5 @@ let all_experiments =
     ("xqual", xqual);
     ("xspace", xspace);
     ("xadaptive", xadaptive);
+    ("xlarge", xlarge);
   ]

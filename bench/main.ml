@@ -32,10 +32,16 @@
                                               plus a FILE_cold.json companion
                                               for the bench_diff 50x warm-hit
                                               gate (see bench/cache_bench.ml)
+     dune exec bench/main.exe -- --large-json FILE
+                                              100-1000 relation graphs through
+                                              the adaptive optimizer's
+                                              partitioned tier, every plan
+                                              Plan_check-verified
+                                              (see bench/large_bench.ml)
 
    Experiment names: table1 fig5a fig5b table2 fig6a fig6b fig7 fig8a
    fig8b ccp xchain xclique xgen xgoo xtopdown xtpch xmem xcdc xqual
-   xspace xadaptive. *)
+   xspace xadaptive xlarge. *)
 
 let run_experiments ~quick names =
   let todo =
@@ -184,10 +190,16 @@ let () =
     | _ :: rest -> cache_json rest
     | [] -> None
   in
+  let rec large_json = function
+    | "--large-json" :: path :: _ -> Some path
+    | _ :: rest -> large_json rest
+    | [] -> None
+  in
   let rec positional = function
     | "--csv" :: _ :: rest | "--json" :: _ :: rest
     | "--adaptive-json" :: _ :: rest | "--profile-json" :: _ :: rest
-    | "--parallel-json" :: _ :: rest | "--cache-json" :: _ :: rest ->
+    | "--parallel-json" :: _ :: rest | "--cache-json" :: _ :: rest
+    | "--large-json" :: _ :: rest ->
         positional rest
     | a :: rest when String.length a > 0 && a.[0] <> '-' -> a :: positional rest
     | _ :: rest -> positional rest
@@ -199,12 +211,17 @@ let () =
       adaptive_json args,
       profile_json args,
       parallel_json args,
-      cache_json args )
+      cache_json args,
+      large_json args )
   with
-  | Some path, _, _, _, _ -> Json_bench.run ~quick ~path names
-  | None, Some path, _, _, _ -> Adaptive_bench.write_json ~quick ~path ()
-  | None, None, Some path, _, _ -> Profile_bench.write_json ~quick ~path ()
-  | None, None, None, Some path, _ -> Parallel_bench.write_json ~quick ~path ()
-  | None, None, None, None, Some path -> Cache_bench.write_json ~quick ~path ()
-  | None, None, None, None, None ->
+  | Some path, _, _, _, _, _ -> Json_bench.run ~quick ~path names
+  | None, Some path, _, _, _, _ -> Adaptive_bench.write_json ~quick ~path ()
+  | None, None, Some path, _, _, _ -> Profile_bench.write_json ~quick ~path ()
+  | None, None, None, Some path, _, _ ->
+      Parallel_bench.write_json ~quick ~path ()
+  | None, None, None, None, Some path, _ ->
+      Cache_bench.write_json ~quick ~path ()
+  | None, None, None, None, None, Some path ->
+      Large_bench.write_json ~quick ~path ()
+  | None, None, None, None, None, None ->
       if bechamel then run_bechamel () else run_experiments ~quick names

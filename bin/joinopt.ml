@@ -106,7 +106,8 @@ let report_obs obs profile trace_out (r : Core.Optimizer.result) =
 
 let shape_arg =
   let doc =
-    "Graph shape: chain, cycle, star, clique, grid, cycle-hyper, star-hyper."
+    "Graph shape: chain, cycle, star, clique, grid, snowflake, cycle-hyper, \
+     star-hyper."
   in
   Arg.(value & opt string "cycle" & info [ "s"; "shape" ] ~doc)
 
@@ -125,6 +126,10 @@ let graph_of_shape shape n splits =
   | "star" -> Ok (Workloads.Shapes.star n)
   | "clique" -> Ok (Workloads.Shapes.clique n)
   | "grid" -> Ok (Workloads.Shapes.grid ~rows:2 ~cols:((n + 1) / 2) ())
+  | "snowflake" -> (
+      match Workloads.Shapes.snowflake_n n with
+      | g -> Ok g
+      | exception Invalid_argument msg -> Error msg)
   | "cycle-hyper" | "star-hyper" -> (
       let fam =
         if shape = "cycle-hyper" then Workloads.Splits.cycle_based n
@@ -143,7 +148,15 @@ let report_result ?(stable = false) g (r : Core.Optimizer.result) elapsed =
   | Some p ->
       Format.printf "plan: %a@.cost: %.4g   est. cardinality: %.4g@."
         Plans.Plan.pp p p.cost p.card;
-      Format.printf "@[<v>%a@]" (Plans.Plan.pp_verbose g) p
+      Format.printf "@[<v>%a@]" (Plans.Plan.pp_verbose g) p;
+      (match Plans.Plan_check.check g p with
+      | [] -> Format.printf "plan check: ok@."
+      | issues ->
+          Format.printf "plan check: %d issue(s)@." (List.length issues);
+          List.iter
+            (fun i ->
+              Format.printf "  %s@." (Plans.Plan_check.issue_to_string i))
+            issues)
   | None -> Format.printf "no plan found@.");
   (match r.tier with
   | Some t -> Format.printf "tier: %s@." (Core.Adaptive.tier_name t)

@@ -1,9 +1,10 @@
 module G = Hypergraph.Graph
 
-type tier = Exact | Idp_k of int | Greedy
+type tier = Exact | Partitioned | Idp_k of int | Greedy
 
 let tier_name = function
   | Exact -> "exact"
+  | Partitioned -> "partitioned"
   | Idp_k k -> Printf.sprintf "idp-%d" k
   | Greedy -> "greedy"
 
@@ -50,15 +51,7 @@ let solve ?obs ?(model = Costing.Cost_model.c_out) ?budget ?(ks = default_ks)
               f)
   in
   let n = G.num_nodes g in
-  let exact_counters = Counters.create ?budget () in
-  match
-    tier_span Exact exact_counters (fun () ->
-        Dphyp.solve_with_table ~model ~counters:exact_counters g)
-  with
-  | dp, plan -> finish Exact exact_counters (Plans.Dp_table.size dp) plan
-  | exception Counters.Budget_exhausted ->
-      record Exact false exact_counters;
-      let rec descend = function
+  let rec descend = function
         | [] ->
             let counters = Counters.create () in
             let plan =
@@ -82,5 +75,34 @@ let solve ?obs ?(model = Costing.Cost_model.c_out) ?budget ?(ks = default_ks)
             | exception Counters.Budget_exhausted ->
                 record (Idp_k k) false counters;
                 descend rest)
-      in
-      descend ks
+  in
+  if n > Nodeset.Node_set.small_capacity then begin
+    (* Wide queries: exhaustive DP over the whole graph is out of
+       reach (and DPhyp would try to enumerate 2^n subsets), so the
+       ladder starts at the partitioned tier — per-block exact DP
+       stitched with IDP — and degrades through the IDP rungs to GOO
+       exactly as before. *)
+    let counters = Counters.create ?budget () in
+    match
+      tier_span Partitioned counters (fun () ->
+          Partition.solve ?obs ~model ~counters g)
+    with
+    | Some plan -> finish Partitioned counters 0 (Some plan)
+    | None ->
+        record Partitioned true counters;
+        descend ks
+    | exception Counters.Budget_exhausted ->
+        record Partitioned false counters;
+        descend ks
+  end
+  else begin
+    let exact_counters = Counters.create ?budget () in
+    match
+      tier_span Exact exact_counters (fun () ->
+          Dphyp.solve_with_table ~model ~counters:exact_counters g)
+    with
+    | dp, plan -> finish Exact exact_counters (Plans.Dp_table.size dp) plan
+    | exception Counters.Budget_exhausted ->
+        record Exact false exact_counters;
+        descend ks
+  end

@@ -19,12 +19,17 @@
 
 type tier =
   | Exact  (** full DPhyp finished within budget *)
+  | Partitioned
+      (** the large-query tier ({!Partition.solve}): per-block exact
+          DP + IDP stitch — entered first, instead of [Exact], for
+          queries wider than {!Nodeset.Node_set.small_capacity}
+          relations *)
   | Idp_k of int  (** IDP with this block size produced the plan *)
   | Greedy  (** budget forced the fall back to GOO *)
 
 val tier_name : tier -> string
-(** ["exact"], ["idp-<k>"], ["greedy"] — used by the CLI and the
-    benchmark JSON. *)
+(** ["exact"], ["partitioned"], ["idp-<k>"], ["greedy"] — used by the
+    CLI and the benchmark JSON. *)
 
 type attempt = {
   tier : tier;
@@ -60,6 +65,8 @@ val solve :
     attempted rung (with the pairs it consumed, and a ["raised"] tag
     when the budget cut it short), nesting the per-round IDP spans
     underneath.  Without [?budget] the exact tier always completes
-    and the outcome equals plain DPhyp (tier {!Exact}).  Schedule
-    entries with [k >= n] or [k < 2] are skipped.  Never raises
+    and the outcome equals plain DPhyp (tier {!Exact}).  Queries with
+    more relations than {!Nodeset.Node_set.small_capacity} skip the
+    exact rung and start at {!Partitioned} instead.  Schedule entries
+    with [k >= n] or [k < 2] are skipped.  Never raises
     {!Counters.Budget_exhausted}. *)

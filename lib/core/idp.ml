@@ -86,7 +86,7 @@ let pick_entry g dp block =
   at_size (Ns.cardinal block)
 
 let solve ?obs ?(model = Costing.Cost_model.c_out)
-    ?(counters = Counters.create ()) ?(k = default_k) g =
+    ?(counters = Counters.create ()) ?init ?(k = default_k) g =
   if k < 2 then invalid_arg "Idp.solve: k must be at least 2";
   let round_no = ref 0 in
   (* [state = Some (emap, base)] after the first contraction: [emap]
@@ -173,4 +173,8 @@ let solve ?obs ?(model = Costing.Cost_model.c_out)
     | `Widen kr' -> round g state kr'
     | `Next (g', state') -> round g' state' k
   in
-  round g None k
+  (* [?init] lets a caller that already contracted blocks of the root
+     graph (the partitioned tier) enter the rounds mid-flight: the
+     graph passed in is then a contracted one and [init] its (emap,
+     base) bookkeeping against the true root graph. *)
+  round g init k

@@ -24,6 +24,7 @@ val solve :
   ?obs:Obs.Span.ctx ->
   ?model:Costing.Cost_model.t ->
   ?counters:Counters.t ->
+  ?init:int array * Plans.Plan.t array ->
   ?k:int ->
   Hypergraph.Graph.t ->
   Plans.Plan.t option
@@ -37,4 +38,11 @@ val solve :
     (disconnected inputs).  Callers wanting a guaranteed answer fall
     back to {!Goo} (which is what {!Adaptive.solve} automates).  A budgeted [counters] makes
     the run raise {!Counters.Budget_exhausted} when its budget is
-    spent.  @raise Invalid_argument if [k < 2]. *)
+    spent.  @raise Invalid_argument if [k < 2].
+
+    [?init:(emap, base)] enters the rounds on an already-contracted
+    graph (the partitioned tier's hand-off): [g] is then a contraction
+    of the true root graph, [emap] translates [g]'s edge ids to root
+    edge ids, and [base.(v)] is the root-graph plan node [v] stands
+    for.  The returned plan is flattened against the root graph, as
+    always. *)

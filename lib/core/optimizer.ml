@@ -7,9 +7,11 @@ type algorithm =
   | Topdown
   | Tdpart
   | Idp
+  | Partition
   | Adaptive
 
-let all = [ Dphyp; Dpsize; Dpsub; Dpccp; Goo; Topdown; Tdpart; Idp; Adaptive ]
+let all =
+  [ Dphyp; Dpsize; Dpsub; Dpccp; Goo; Topdown; Tdpart; Idp; Partition; Adaptive ]
 
 let name = function
   | Dphyp -> "dphyp"
@@ -20,6 +22,7 @@ let name = function
   | Topdown -> "topdown"
   | Tdpart -> "tdpart"
   | Idp -> "idp"
+  | Partition -> "partition"
   | Adaptive -> "adaptive"
 
 let of_name = function
@@ -31,16 +34,17 @@ let of_name = function
   | "topdown" -> Some Topdown
   | "tdpart" -> Some Tdpart
   | "idp" -> Some Idp
+  | "partition" -> Some Partition
   | "adaptive" -> Some Adaptive
   | _ -> None
 
 let supports_filter = function
   | Dphyp | Dpsize | Dpsub -> true
-  | Dpccp | Goo | Topdown | Tdpart | Idp | Adaptive -> false
+  | Dpccp | Goo | Topdown | Tdpart | Idp | Partition | Adaptive -> false
 
 let exact = function
   | Dphyp | Dpsize | Dpsub | Dpccp | Topdown | Tdpart -> true
-  | Goo | Idp | Adaptive -> false
+  | Goo | Idp | Partition | Adaptive -> false
 
 type result = {
   plan : Plans.Plan.t option;
@@ -85,6 +89,9 @@ let run ?obs ?model ?filter ?budget ?(k = Idp.default_k) algo g =
         { plan; counters; dp_entries = 0; tier = None; attempts = [] }
     | Idp ->
         let plan = Idp.solve ?obs ?model ~counters ~k g in
+        { plan; counters; dp_entries = 0; tier = None; attempts = [] }
+    | Partition ->
+        let plan = Partition.solve ?obs ?model ~counters ~k g in
         { plan; counters; dp_entries = 0; tier = None; attempts = [] }
     | Adaptive ->
         let o = Adaptive.solve ?obs ?model ?budget g in

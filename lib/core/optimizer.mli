@@ -12,9 +12,14 @@ type algorithm =
   | Topdown
   | Tdpart
   | Idp  (** iterative DP over blocks of [k] relations ({!Idp}) *)
+  | Partition
+      (** large-query tier: greedy edge-clustered partition, per-block
+          exact DP, IDP-k stitch ({!Partition}) — the only DP-quality
+          algorithm that runs past
+          {!Nodeset.Node_set.small_capacity} relations *)
   | Adaptive
-      (** budgeted ladder: DPhyp, then IDP with shrinking k, then GOO
-          ({!Adaptive}) *)
+      (** budgeted ladder: DPhyp (or {!Partition} on wide queries),
+          then IDP with shrinking k, then GOO ({!Adaptive}) *)
 
 val all : algorithm list
 
@@ -28,9 +33,9 @@ val supports_filter : algorithm -> bool
 
 val exact : algorithm -> bool
 (** Does the algorithm guarantee the optimal plan (everything except
-    GOO, IDP and Adaptive)?  Note Adaptive with an unlimited budget
-    and IDP with [k >= n] do return the exact optimum, but carry no
-    general guarantee. *)
+    GOO, IDP, Partition and Adaptive)?  Note Adaptive with an
+    unlimited budget and IDP with [k >= n] do return the exact
+    optimum, but carry no general guarantee. *)
 
 type result = {
   plan : Plans.Plan.t option;

@@ -1,0 +1,50 @@
+(** DPhyp-on-partitions — the large-query tier.
+
+    Partitions the query graph into connected blocks of bounded size
+    (greedy edge clustering: union-find merging along the most
+    selective simple edges first, complex-hyperedge covers merged
+    unconditionally so every block stays contractible), solves each
+    block {e exactly} with block-restricted DPhyp
+    ({!Dphyp.solve_subset}), contracts it to a compound node
+    ({!Hypergraph.Graph.contract}), and stitches the contracted graph
+    with IDP-k entered mid-flight ({!Idp.solve}[ ~init]) — which also
+    absorbs whatever the clustering left as singletons (e.g. a star's
+    satellites, which can only ever cluster with the hub).
+
+    This is the tier {!Adaptive.solve} selects automatically for
+    queries wider than {!Nodeset.Node_set.small_capacity} relations,
+    where exhaustive DP is out of reach; it plans 100–1000 relation
+    chains, stars and snowflakes in milliseconds-to-seconds, and on
+    graphs small enough for both, its cost is bounded below by exact
+    DPhyp's (equal whenever one block covers the whole query — then
+    the block DP {e is} the exact DP). *)
+
+val default_block_size : int
+(** Block size used when [?block_size] is omitted (10). *)
+
+val default_stitch_k : int
+(** IDP block size for the stitching rounds when [?k] is omitted
+    (10). *)
+
+val partition :
+  Hypergraph.Graph.t -> block_size:int -> Nodeset.Node_set.t list
+(** The clustering alone (exposed for tests): connected blocks of at
+    most [block_size] nodes — except where a complex-hyperedge cover
+    forces a bigger one — in ascending min-member order, singletons
+    included.  Every node appears in exactly one block. *)
+
+val solve :
+  ?obs:Obs.Span.ctx ->
+  ?model:Costing.Cost_model.t ->
+  ?counters:Counters.t ->
+  ?block_size:int ->
+  ?k:int ->
+  Hypergraph.Graph.t ->
+  Plans.Plan.t option
+(** Optimize via partition + per-block exact DP + IDP-k stitch.
+    [?obs] records one ["partition:cluster"] span and a
+    ["partition:block"] span per solved block, with the IDP rounds'
+    spans following.  A budgeted [counters] makes the run raise
+    {!Counters.Budget_exhausted} when its budget is spent.  [None] is
+    reserved for graphs IDP itself cannot plan (disconnected inputs).
+    @raise Invalid_argument if [block_size < 2]. *)

@@ -1,9 +1,18 @@
 module Ns = Nodeset.Node_set
 module Se = Nodeset.Subset_enum
 
-type cache = { g : Graph.t; memo : (int, bool) Hashtbl.t }
+(* value-based keys, so the memo is representation-agnostic and works
+   past the single-word width *)
+module NsTbl = Hashtbl.Make (struct
+  type t = Ns.t
 
-let make_cache g = { g; memo = Hashtbl.create 1024 }
+  let equal = Ns.equal
+  let hash = Ns.hash
+end)
+
+type cache = { g : Graph.t; memo : bool NsTbl.t }
+
+let make_cache g = { g; memo = NsTbl.create 1024 }
 
 let reachable_overapprox g seed =
   let grow s =
@@ -30,7 +39,7 @@ let rec is_connected c s =
   if Ns.is_empty s then false
   else if Ns.is_singleton s then true
   else
-    match Hashtbl.find_opt c.memo (Ns.to_int s) with
+    match NsTbl.find_opt c.memo s with
     | Some b -> b
     | None ->
         let rest = Ns.without_min s in
@@ -42,7 +51,7 @@ let rec is_connected c s =
               Graph.connects c.g s1 s2
               && is_connected c s1 && is_connected c s2)
         in
-        Hashtbl.replace c.memo (Ns.to_int s) result;
+        NsTbl.replace c.memo s result;
         result
 
 let is_connected_graph g =

@@ -39,6 +39,12 @@ let count_csg_cmp_pairs g = List.length (csg_cmp_pairs g)
 let estimate_connected_subgraphs g =
   let n = Graph.num_nodes g in
   if n <= 2 then n + 1
+  else if n > Ns.small_capacity then
+    (* Wide graphs never run whole-graph exhaustive DP — the table
+       only ever holds per-block entries of the partitioned tier — so
+       a linear hint is plenty, and the O(n^3) probe below would cost
+       more than the optimization itself at n ~ 1000. *)
+    max 64 (min (1 lsl 21) (16 * (n + Array.length (Graph.edges g))))
   else begin
     let c2 = ref 0 and c3 = ref 0 in
     for i = 0 to n - 1 do
@@ -77,13 +83,20 @@ let estimate_connected_subgraphs g =
     max 64 (if est > float_of_int cap then cap else int_of_float est)
   end
 
+module NsTbl = Hashtbl.Make (struct
+  type t = Ns.t
+
+  let equal = Ns.equal
+  let hash = Ns.hash
+end)
+
 let count_join_trees g =
   let conn = Connectivity.make_cache g in
-  let memo : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let memo : int NsTbl.t = NsTbl.create 256 in
   let rec trees s =
     if Ns.is_singleton s then 1
     else
-      match Hashtbl.find_opt memo (Ns.to_int s) with
+      match NsTbl.find_opt memo s with
       | Some n -> n
       | None ->
           let total = ref 0 in
@@ -95,7 +108,7 @@ let count_join_trees g =
                 && Connectivity.is_connected conn s2
                 && Graph.connects g s1 s2
               then total := !total + (2 * trees s1 * trees s2));
-          Hashtbl.replace memo (Ns.to_int s) !total;
+          NsTbl.replace memo s !total;
           !total
   in
   trees (Graph.all_nodes g)

@@ -111,6 +111,27 @@ let popcount x =
 
 let cardinal t = Array.fold_left (fun n w -> n + popcount w) 0 t.words
 
+let min_elt_opt t =
+  let n = Array.length t.words in
+  let rec go k =
+    if k = n then None
+    else if t.words.(k) = 0 then go (k + 1)
+    else begin
+      let w = t.words.(k) in
+      let b = ref 0 in
+      while (w lsr !b) land 1 = 0 do
+        incr b
+      done;
+      Some ((k * bits_per_word) + !b)
+    end
+  in
+  go 0
+
+let min_elt t =
+  match min_elt_opt t with
+  | Some i -> i
+  | None -> invalid_arg "Bitset.min_elt: empty set"
+
 let full w =
   let t = create w in
   let words = t.words in

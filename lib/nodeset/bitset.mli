@@ -1,8 +1,8 @@
 (** Arbitrary-width bitsets backed by an [int array].
 
-    {!Node_set} covers up to 62 relations, which is enough for every
-    dynamic-programming experiment in the paper.  This module exists
-    for the places where the universe is not node indices: per-plan
+    {!Node_set} is specialised for node indices (single-word fast path
+    below {!Node_set.small_capacity}, multi-word beyond).  This module
+    exists for the places where the universe is not node indices: per-plan
     predicate sets [p_S] (Section 3.5 attaches the set of applicable
     predicates to every plan class as a bit vector), edge-id sets, and
     any catalog-sized universe.  Values are immutable from the outside
@@ -52,6 +52,11 @@ val equal : t -> t -> bool
 val compare : t -> t -> int
 
 val cardinal : t -> int
+
+val min_elt : t -> int
+(** Smallest member.  @raise Invalid_argument on the empty set. *)
+
+val min_elt_opt : t -> int option
 
 val full : int -> t
 (** [full width] has all [width] bits set. *)

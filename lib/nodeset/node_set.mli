@@ -1,25 +1,36 @@
-(** Sets of query-graph nodes represented as native-int bitsets.
+(** Sets of query-graph nodes behind a width-polymorphic bitset.
 
     A node is a small non-negative integer (the index of a relation in
-    the query).  The whole set lives in a single OCaml [int], which
-    limits queries to {!max_nodes} (= 62) relations — far beyond what
-    exhaustive dynamic programming can optimize anyway.
+    the query).  Sets over nodes [0, 62) live in a single unboxed
+    OCaml [int] — bit-for-bit the representation the DP hot paths were
+    tuned on — while larger sets transparently switch to a multi-word
+    representation, lifting the historic 62-relation ceiling up to
+    {!max_nodes} relations.  Which representation a value uses is
+    unobservable through this interface: [equal], [compare] and [hash]
+    are value-based and agree across representations.
 
     The total node order [<=] required by DPhyp (Definition 1 of the
     paper) is the natural order on indices; [min_elt] therefore
     returns the canonical representative [min(S)] used for hypernode
     traversal (Section 2.3). *)
 
-type t = private int
-(** A set of nodes.  The [i]-th bit is set iff node [i] is a member.
-    Exposed as [private int] so that performance-critical callers can
-    read the raw bits, while construction stays within this module. *)
+type t
+(** A set of nodes.  Either an immediate [int] whose [i]-th bit is set
+    iff node [i] is a member (all sets over nodes < {!small_capacity}
+    constructed from small sets), or a boxed array of 62-bit words for
+    wider sets. *)
 
 type node = int
 (** A node index in [0, max_nodes). *)
 
 val max_nodes : int
-(** Maximum number of distinct nodes supported (62). *)
+(** Maximum number of distinct nodes supported (1024). *)
+
+val small_capacity : int
+(** Width of the single-word fast path (62): sets touching only nodes
+    below this stay unboxed immediates, and graphs with at most this
+    many relations run the exact same representation as before the
+    widening. *)
 
 val empty : t
 (** The empty set. *)
@@ -56,11 +67,13 @@ val intersects : t -> t -> bool
 (** [intersects a b] iff [a ∩ b ≠ ∅]. *)
 
 val equal : t -> t -> bool
+(** Value equality, independent of representation width. *)
 
 val compare : t -> t -> int
-(** Total order on sets (numeric order of the underlying bits); this
-    coincides with the lexicographic order on sets used in Section 5.4
-    of the paper when comparing [min] elements first. *)
+(** Total order on sets (numeric order of the underlying bits,
+    independent of representation width); this coincides with the
+    lexicographic order on sets used in Section 5.4 of the paper when
+    comparing [min] elements first. *)
 
 val cardinal : t -> int
 (** Number of members (population count). *)
@@ -85,8 +98,10 @@ val without_min : t -> t
     written [min̄(S)]. *)
 
 val full : int -> t
-(** [full n] is [{0, 1, ..., n-1}].  @raise Invalid_argument if [n]
-    is negative or exceeds {!max_nodes}. *)
+(** [full n] is [{0, 1, ..., n-1}].  Values up to {!small_capacity}
+    stay on the single-word path; beyond it the result is wide.
+    @raise Invalid_argument if [n] is negative or exceeds
+    {!max_nodes}. *)
 
 val range : int -> int -> t
 (** [range lo hi] is [{lo, ..., hi}] (empty if [lo > hi]). *)
@@ -114,8 +129,9 @@ val fold : (node -> 'a -> 'a) -> t -> 'a -> 'a
 (** Fold over members in increasing order. *)
 
 val union_over_array : t array -> t -> t
-(** [union_over_array arr s] is [⋃ {arr.(v) | v ∈ s}], allocation-free.
-    [arr] must be indexed by node and cover every member of [s]. *)
+(** [union_over_array arr s] is [⋃ {arr.(v) | v ∈ s}], allocation-free
+    when everything involved is single-word.  [arr] must be indexed by
+    node and cover every member of [s]. *)
 
 val for_all : (node -> bool) -> t -> bool
 
@@ -126,14 +142,25 @@ val filter : (node -> bool) -> t -> t
 val choose : t -> node
 (** An arbitrary member (the smallest).  @raise Not_found if empty. *)
 
+val fits_small : t -> bool
+(** Whether the {e value} fits the single-word fast path (all members
+    below {!small_capacity}) — true also for a wide-represented set
+    whose upper words are all zero. *)
+
 val to_int : t -> int
-(** The raw bit pattern.  Injective; useful as a hash-table key. *)
+(** The raw single-word bit pattern.  Injective over sets that
+    {!fits_small}; useful as a hash-table key on the small path.
+    @raise Invalid_argument if the set has a member >=
+    {!small_capacity}. *)
 
 val unsafe_of_int : int -> t
-(** Reinterpret a bit pattern as a set.  The caller must guarantee the
-    value is non-negative. *)
+(** Reinterpret a single-word bit pattern as a set.  The caller must
+    guarantee the value is non-negative. *)
 
 val hash : t -> int
+(** Value-based hash: equal sets hash alike regardless of
+    representation width (on the small path this is the raw bit
+    pattern, unchanged from the pre-widening behaviour). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints as [{R0,R3,R5}]. *)
@@ -142,3 +169,26 @@ val to_string : t -> string
 
 val pp_named : (node -> string) -> Format.formatter -> t -> unit
 (** Prints with a caller-supplied node-naming function. *)
+
+(** Test-only hooks for the differential oracle layer
+    ([test/test_widening.ml]): they let the small-graph algorithms run
+    entirely on wide representations so the two paths can be compared
+    on identical inputs.  Not for production use. *)
+module Internal : sig
+  val is_wide_repr : t -> bool
+  (** Whether the value currently uses the multi-word representation
+      (an implementation detail — NOT whether the set is large). *)
+
+  val force_wide : t -> t
+  (** The same set, re-represented as a (one-word) wide value. *)
+
+  val force_wide_mode : unit -> bool
+  (** Whether constructors are currently routed to the wide
+      representation. *)
+
+  val with_force_wide : (unit -> 'a) -> 'a
+  (** Run a thunk with every constructor ([singleton], [add], [full],
+      [range], [below], [upto], [of_list], ...) producing wide
+      representations regardless of width, restoring the previous mode
+      afterwards (exception-safe). *)
+end

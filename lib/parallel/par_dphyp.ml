@@ -302,6 +302,10 @@ let run_parallel ?obs ~model ?filter ?budget ~pool g =
       })
 
 let run ?obs ?(model = Costing.Cost_model.c_out) ?filter ?budget ~pool g =
-  if Pool.jobs pool <= 1 then
+  (* Wide graphs (n beyond the single-word width) don't fit the
+     pair-packing scheme of the parallel replay, and exhaustive DP is
+     not what anyone runs at that scale anyway — dispatch sequential
+     and let the adaptive ladder's partitioned tier do its job. *)
+  if Pool.jobs pool <= 1 || G.num_nodes g > Ns.small_capacity then
     Core.Optimizer.run ?obs ~model ?filter ?budget Core.Optimizer.Dphyp g
   else run_parallel ?obs ~model ?filter ?budget ~pool g

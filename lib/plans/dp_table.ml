@@ -10,7 +10,20 @@ module Ns = Nodeset.Node_set
 
 let flat_max_nodes = 18
 
-type store = Flat of Plan.t option array | Hashed of (int, Plan.t) Hashtbl.t
+(* Wide queries key the hash on the node set itself: [Ns.hash] and
+   [Ns.equal] are value-based, so the table is oblivious to which
+   representation a set arrived in. *)
+module NsTbl = Hashtbl.Make (struct
+  type t = Ns.t
+
+  let equal = Ns.equal
+  let hash = Ns.hash
+end)
+
+type store =
+  | Flat of Plan.t option array
+  | Hashed of (int, Plan.t) Hashtbl.t
+  | Wide of Plan.t NsTbl.t
 
 type t = {
   store : store;
@@ -19,14 +32,16 @@ type t = {
 }
 
 let create ?hint n =
+  let cap = match hint with None -> 1024 | Some h -> max 16 h in
   let store =
     if n <= flat_max_nodes then Flat (Array.make (1 lsl n) None)
-    else
+    else if n <= Ns.small_capacity then
       (* OCaml's Hashtbl resizes once the load factor passes 2, so a
          bucket count of half the expected entries already avoids
          every rehash; creating with the full hint leaves headroom
          for the estimate being low. *)
-      Hashed (Hashtbl.create (match hint with None -> 1024 | Some h -> max 16 h))
+      Hashed (Hashtbl.create cap)
+    else Wide (NsTbl.create cap)
   in
   { store; entries = 0; by_size = Array.make (n + 1) [] }
 
@@ -41,25 +56,30 @@ let hash_stats t =
   | Hashed h ->
       let s = Hashtbl.stats h in
       Some (s.Hashtbl.num_buckets, s.Hashtbl.num_bindings)
+  | Wide h ->
+      let s = NsTbl.stats h in
+      Some (s.Hashtbl.num_buckets, s.Hashtbl.num_bindings)
 
 let find t s =
   match t.store with
   | Flat a -> a.(Ns.to_int s)
   | Hashed h -> Hashtbl.find_opt h (Ns.to_int s)
+  | Wide h -> NsTbl.find_opt h s
 
 let mem t s =
   match t.store with
   | Flat a -> ( match a.(Ns.to_int s) with None -> false | Some _ -> true)
   | Hashed h -> Hashtbl.mem h (Ns.to_int s)
+  | Wide h -> NsTbl.mem h s
 
 let register_size t s =
   let k = Ns.cardinal s in
   t.by_size.(k) <- s :: t.by_size.(k)
 
 let update t (p : Plan.t) =
-  let key = Ns.to_int p.set in
   match t.store with
   | Flat a -> (
+      let key = Ns.to_int p.set in
       match a.(key) with
       | None ->
           a.(key) <- Some p;
@@ -73,6 +93,7 @@ let update t (p : Plan.t) =
           end
           else false)
   | Hashed h -> (
+      let key = Ns.to_int p.set in
       match Hashtbl.find_opt h key with
       | None ->
           Hashtbl.replace h key p;
@@ -85,11 +106,24 @@ let update t (p : Plan.t) =
             true
           end
           else false)
+  | Wide h -> (
+      match NsTbl.find_opt h p.set with
+      | None ->
+          NsTbl.replace h p.set p;
+          t.entries <- t.entries + 1;
+          register_size t p.set;
+          true
+      | Some old ->
+          if p.cost < old.cost then begin
+            NsTbl.replace h p.set p;
+            true
+          end
+          else false)
 
 let force t (p : Plan.t) =
-  let key = Ns.to_int p.set in
   match t.store with
   | Flat a ->
+      let key = Ns.to_int p.set in
       (match a.(key) with
       | None ->
           t.entries <- t.entries + 1;
@@ -97,11 +131,18 @@ let force t (p : Plan.t) =
       | Some _ -> ());
       a.(key) <- Some p
   | Hashed h ->
+      let key = Ns.to_int p.set in
       if not (Hashtbl.mem h key) then begin
         t.entries <- t.entries + 1;
         register_size t p.set
       end;
       Hashtbl.replace h key p
+  | Wide h ->
+      if not (NsTbl.mem h p.set) then begin
+        t.entries <- t.entries + 1;
+        register_size t p.set
+      end;
+      NsTbl.replace h p.set p
 
 let size t = t.entries
 
@@ -109,6 +150,7 @@ let iter f t =
   match t.store with
   | Flat a -> Array.iter (function None -> () | Some p -> f p) a
   | Hashed h -> Hashtbl.iter (fun _ p -> f p) h
+  | Wide h -> NsTbl.iter (fun _ p -> f p) h
 
 let sets_of_size t k = if k < Array.length t.by_size then t.by_size.(k) else []
 

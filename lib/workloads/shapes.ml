@@ -63,6 +63,51 @@ let clique ?p n =
   done;
   of_pairs ?p ~prefix:"T" n (List.rev !pairs)
 
+(* Snowflake schema: fact table 0, [dims] dimensions joined to the
+   fact, each dimension carrying [leaves] sub-dimension tables.  Node
+   layout is fact; then per dimension its node followed by its leaves,
+   so ids stay contiguous per cluster — handy for eyeballing plans. *)
+let snowflake ?p ~dims ~leaves () =
+  if dims < 1 then invalid_arg "Shapes.snowflake: need at least one dimension";
+  if leaves < 0 then invalid_arg "Shapes.snowflake: leaves must be >= 0";
+  let n = 1 + (dims * (1 + leaves)) in
+  let pairs = ref [] in
+  for d = 0 to dims - 1 do
+    let dim = 1 + (d * (1 + leaves)) in
+    pairs := (0, dim) :: !pairs;
+    for l = 1 to leaves do
+      pairs := (dim, dim + l) :: !pairs
+    done
+  done;
+  of_pairs ?p ~prefix:"S" n (List.rev !pairs)
+
+(* [snowflake_n n] picks dims ~ sqrt(n-1) and distributes the
+   remaining nodes across the dimension clusters so the graph has
+   exactly [n] relations — the form the CLI and the large benchmarks
+   use. *)
+let snowflake_n ?(p = default_params) n =
+  if n < 3 then invalid_arg "Shapes.snowflake_n: n must be >= 3";
+  let dims =
+    max 1 (int_of_float (Float.round (sqrt (float_of_int (n - 1)))))
+  in
+  let rest = n - 1 in
+  (* cluster d gets base + 1 extra nodes for the first [rem] dims *)
+  let base = rest / dims and rem = rest mod dims in
+  let pairs = ref [] in
+  let next = ref 1 in
+  for d = 0 to dims - 1 do
+    let cluster = base + if d < rem then 1 else 0 in
+    if cluster > 0 then begin
+      let dim = !next in
+      pairs := (0, dim) :: !pairs;
+      for l = 1 to cluster - 1 do
+        pairs := (dim, dim + l) :: !pairs
+      done;
+      next := !next + cluster
+    end
+  done;
+  of_pairs ~p ~prefix:"S" n (List.rev !pairs)
+
 let grid ?p ~rows ~cols () =
   if rows < 1 || cols < 1 then invalid_arg "Shapes.grid: empty grid";
   let idx r c = (r * cols) + c in

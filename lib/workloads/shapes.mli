@@ -38,6 +38,20 @@ val grid : ?p:params -> rows:int -> cols:int -> unit -> Hypergraph.Graph.t
 (** [grid ~rows ~cols] — lattice adjacency; a denser-than-chain,
     sparser-than-clique shape used by our extension benchmarks. *)
 
+val snowflake : ?p:params -> dims:int -> leaves:int -> unit -> Hypergraph.Graph.t
+(** [snowflake ~dims ~leaves] — fact table S0 joined to [dims]
+    dimensions, each carrying [leaves] sub-dimension tables:
+    [1 + dims*(1+leaves)] relations in total.  The 100–1000 relation
+    workhorse of the large-query tier (e.g. [~dims:9 ~leaves:10] is
+    exactly 100 relations).  @raise Invalid_argument if [dims < 1] or
+    [leaves < 0]. *)
+
+val snowflake_n : ?p:params -> int -> Hypergraph.Graph.t
+(** [snowflake_n n] — a snowflake with exactly [n] relations:
+    [dims ~ sqrt (n-1)] dimension clusters with the remaining nodes
+    distributed as evenly as possible.  @raise Invalid_argument if
+    [n < 3]. *)
+
 val rng_of : params -> Random.State.t
 
 val rand_card : params -> Random.State.t -> float

@@ -32,14 +32,53 @@ let test_add_remove () =
   check_list "remove absent is noop" [ 3 ] (Ns.to_list (Ns.remove 7 s))
 
 let test_range_limits () =
-  Alcotest.check_raises "singleton 62 rejected"
-    (Invalid_argument "Node_set: node 62 out of range [0,62)") (fun () ->
-      ignore (Ns.singleton 62));
+  Alcotest.check_raises "singleton 1024 rejected"
+    (Invalid_argument "Node_set: node 1024 out of range [0,1024)") (fun () ->
+      ignore (Ns.singleton 1024));
   Alcotest.check_raises "negative rejected"
-    (Invalid_argument "Node_set: node -1 out of range [0,62)") (fun () ->
+    (Invalid_argument "Node_set: node -1 out of range [0,1024)") (fun () ->
       ignore (Ns.add (-1) Ns.empty));
-  (* 61 is the largest valid node *)
-  check_int "node 61 ok" 61 (Ns.min_elt (Ns.singleton 61))
+  check_int "node 61 ok" 61 (Ns.min_elt (Ns.singleton 61));
+  (* 62 used to be rejected; it now routes to the wide path *)
+  check_int "node 62 ok" 62 (Ns.min_elt (Ns.singleton 62))
+
+(* The 61/62/63 boundary: 61 is the last single-word node, 62 the
+   first that must widen, and nothing may ever truncate. *)
+let test_width_boundary () =
+  let s61 = Ns.singleton 61 in
+  check "61 fits small" true (Ns.fits_small s61);
+  check "61 small repr" false (Ns.Internal.is_wide_repr s61);
+  let s62 = Ns.singleton 62 in
+  check "62 wide repr" true (Ns.Internal.is_wide_repr s62);
+  check "62 does not fit small" false (Ns.fits_small s62);
+  check "mem 62" true (Ns.mem 62 s62);
+  check_int "cardinal s62" 1 (Ns.cardinal s62);
+  (* add across the boundary widens in place, keeping low members *)
+  let s = Ns.add 62 (Ns.of_list [ 0; 61 ]) in
+  check "add 62 widens" true (Ns.Internal.is_wide_repr s);
+  check_list "members kept" [ 0; 61; 62 ] (Ns.to_list s);
+  let s63 = Ns.add 63 s in
+  check "mem 63" true (Ns.mem 63 s63);
+  check_int "cardinal after 63" 4 (Ns.cardinal s63);
+  check_int "max_elt 63" 63 (Ns.max_elt s63);
+  (* full at the boundary: 62 still fills the single word exactly *)
+  let f62 = Ns.full 62 in
+  check "full 62 small" false (Ns.Internal.is_wide_repr f62);
+  check_int "full 62 cardinal" 62 (Ns.cardinal f62);
+  check_int "full 62 max" 61 (Ns.max_elt f62);
+  (* full 63 must widen and must NOT truncate to 62 members *)
+  let f63 = Ns.full 63 in
+  check "full 63 wide" true (Ns.Internal.is_wide_repr f63);
+  check_int "full 63 cardinal" 63 (Ns.cardinal f63);
+  check_int "full 63 max" 62 (Ns.max_elt f63);
+  check "full 62 subset of full 63" true (Ns.subset f62 f63);
+  check_list "diff full63 full62" [ 62 ] (Ns.to_list (Ns.diff f63 f62));
+  (* equality/hash are value-based, independent of representation *)
+  let w61 = Ns.Internal.force_wide s61 in
+  check "forced-wide is wide" true (Ns.Internal.is_wide_repr w61);
+  check "equal across reprs" true (Ns.equal s61 w61);
+  check_int "compare across reprs" 0 (Ns.compare s61 w61);
+  check_int "hash across reprs" (Ns.hash s61) (Ns.hash w61)
 
 let test_min_max () =
   let s = Ns.of_list [ 4; 9; 17 ] in
@@ -205,6 +244,14 @@ let test_bitset_algebra () =
   check_list "complement of full minus" [ 64; 100 ]
     (Bs.to_list (Bs.complement (Bs.complement b)))
 
+let test_bitset_min_elt () =
+  check "min_elt_opt empty" true (Bs.min_elt_opt (Bs.create 40) = None);
+  check_int "min across words" 33 (Bs.min_elt (Bs.of_list 100 [ 95; 33 ]));
+  check_int "min in high word" 95 (Bs.min_elt (Bs.of_list 100 [ 95 ]));
+  Alcotest.check_raises "min_elt empty"
+    (Invalid_argument "Bitset.min_elt: empty set") (fun () ->
+      ignore (Bs.min_elt (Bs.create 8)))
+
 let prop_bitset_model =
   QCheck.Test.make ~name:"bitset union/inter/diff vs list model" ~count:300
     QCheck.(pair (small_list (int_bound 90)) (small_list (int_bound 90)))
@@ -216,6 +263,29 @@ let prop_bitset_model =
       && Bs.to_list (Bs.diff a b)
          = List.filter (fun v -> not (List.mem v sb)) sa)
 
+(* Model-based check at random widths 1-300, so multi-word layouts and
+   word boundaries are exercised, including min_elt/popcount/fold. *)
+let prop_bitset_model_wide =
+  QCheck.Test.make ~name:"bitset vs sorted-list model, widths 1-300"
+    ~count:300
+    QCheck.(
+      triple (int_range 1 300)
+        (small_list (int_bound 299))
+        (small_list (int_bound 299)))
+    (fun (w, la, lb) ->
+      let la = List.map (fun i -> i mod w) la
+      and lb = List.map (fun i -> i mod w) lb in
+      let a = Bs.of_list w la and b = Bs.of_list w lb in
+      let sa = List.sort_uniq compare la and sb = List.sort_uniq compare lb in
+      let model_min = function [] -> None | x :: _ -> Some x in
+      Bs.to_list (Bs.union a b) = List.sort_uniq compare (sa @ sb)
+      && Bs.to_list (Bs.inter a b) = List.filter (fun v -> List.mem v sb) sa
+      && Bs.to_list (Bs.diff a b)
+         = List.filter (fun v -> not (List.mem v sb)) sa
+      && Bs.cardinal a = List.length sa
+      && Bs.min_elt_opt a = model_min sa
+      && Bs.fold (fun i acc -> i + acc) a 0 = List.fold_left ( + ) 0 sa)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "nodeset"
@@ -226,6 +296,7 @@ let () =
           Alcotest.test_case "singleton" `Quick test_singleton;
           Alcotest.test_case "add_remove" `Quick test_add_remove;
           Alcotest.test_case "range_limits" `Quick test_range_limits;
+          Alcotest.test_case "width_boundary" `Quick test_width_boundary;
           Alcotest.test_case "min_max" `Quick test_min_max;
           Alcotest.test_case "full_range" `Quick test_full_range;
           Alcotest.test_case "set_algebra" `Quick test_set_algebra;
@@ -256,6 +327,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_bitset_basics;
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
           Alcotest.test_case "algebra" `Quick test_bitset_algebra;
+          Alcotest.test_case "min_elt" `Quick test_bitset_min_elt;
           q prop_bitset_model;
+          q prop_bitset_model_wide;
         ] );
     ]
