@@ -12,7 +12,15 @@
    The [summary] block aggregates the hyperedge-heavy family members
    (graphs that still carry at least one complex edge) as a geometric
    mean of ns/ccp per family, which is what tools/bench_smoke.sh and
-   PR before/after comparisons consume. *)
+   PR before/after comparisons consume.
+
+   [--telemetry] reruns the identical measurement with always-on
+   serving telemetry attached: every measured optimization also pays
+   for a graph fingerprint, a latency-histogram record and a
+   flight-recorder push — the per-request overhead of the
+   Driver.Pipeline [?tel] path.  The summary keys are unchanged, so
+     bench_diff --threshold 1.05 <plain> <telemetry>
+   is the "telemetry costs at most 5%" acceptance gate. *)
 
 module Opt = Core.Optimizer
 module G = Hypergraph.Graph
@@ -30,8 +38,49 @@ type record = {
   dp_entries : int;
 }
 
-let measure_record ~experiment ~graph g =
-  let m = Bench_util.measure Opt.Dphyp g in
+(* The always-on serving overhead, paid inside the measured closure:
+   the same per-request work Driver.Pipeline's [?tel] path does after
+   each optimization — fingerprint the graph, record the wall clock
+   into the latency histogram, push a flat record (with allocation
+   deltas) into the flight recorder. *)
+let instrumented tel g () =
+  let gc0 = Gc.quick_stat () in
+  let t0 = Obs.Span.now () in
+  let r = Opt.run Opt.Dphyp g in
+  let wall = Obs.Span.now () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  Obs.Export.observe_s tel
+    ~labels:[ ("algo", "dphyp"); ("cache", "none"); ("result", "ok") ]
+    "joinopt_optimize_latency_seconds" wall;
+  Obs.Recorder.record
+    (Obs.Export.recorder tel)
+    ~fingerprint:(Cache.Fingerprint.to_hex (Cache.Fingerprint.of_graph g))
+    ~relations:(G.num_nodes g) ~algo:"dphyp"
+    ~pairs:r.Opt.counters.Core.Counters.pairs_considered
+    ~wall_s:wall
+    ~minor_words:(gc1.Gc.minor_words -. gc0.Gc.minor_words)
+    ~major_words:(gc1.Gc.major_words -. gc0.Gc.major_words)
+    ();
+  r
+
+let measure_record ?tel ~experiment ~graph g =
+  let m =
+    match tel with
+    | None -> Bench_util.measure Opt.Dphyp g
+    | Some tel ->
+        let ms, r = Bench_util.time_ms (instrumented tel g) in
+        {
+          Bench_util.ms;
+          ccp = r.Opt.counters.Core.Counters.ccp_emitted;
+          pairs = r.Opt.counters.Core.Counters.pairs_considered;
+          nbh = r.Opt.counters.Core.Counters.neighborhood_calls;
+          cost =
+            (match r.Opt.plan with
+            | Some p -> p.Plans.Plan.cost
+            | None -> nan);
+          entries = r.Opt.dp_entries;
+        }
+  in
   {
     experiment;
     graph;
@@ -93,7 +142,7 @@ let json_of_record r =
     r.neighborhoods r.dp_entries (ns_per_ccp r) (ns_per_pair r)
     (pairs_per_sec r)
 
-let run ~quick ~path names =
+let run ?(telemetry = false) ~quick ~path names =
   let fams = families ~quick in
   let fams =
     match names with
@@ -105,15 +154,17 @@ let run ~quick ~path names =
       (String.concat ", " (List.map fst (families ~quick)));
     exit 2
   end;
-  Printf.printf "JSON benchmarks (%s mode) -> %s\n"
+  let tel = if telemetry then Some (Obs.Export.create ()) else None in
+  Printf.printf "JSON benchmarks (%s mode%s) -> %s\n"
     (if quick then "quick" else "full")
+    (if telemetry then ", always-on telemetry" else "")
     path;
   let records =
     List.concat_map
       (fun (experiment, members) ->
         List.map
           (fun (graph, g) ->
-            let r = measure_record ~experiment ~graph g in
+            let r = measure_record ?tel ~experiment ~graph g in
             Printf.printf
               "  %-14s %-14s rels=%-3d cx=%-2d %8s ms  %9d ccp  %8.1f \
                ns/ccp  %7.1f ns/pair\n"

@@ -38,6 +38,16 @@
                                               partitioned tier, every plan
                                               Plan_check-verified
                                               (see bench/large_bench.ml)
+     dune exec bench/main.exe -- --telemetry-json FILE
+                                              Zipf replay served with always-on
+                                              telemetry; FILE is the registry's
+                                              obs_telemetry/v1 snapshot
+                                              (see bench/telemetry_bench.ml)
+     dune exec bench/main.exe -- --telemetry  with --json: pay the per-request
+                                              telemetry overhead (fingerprint +
+                                              histogram + flight recorder)
+                                              inside every measured run, for
+                                              the bench_diff 5% overhead gate
 
    Experiment names: table1 fig5a fig5b table2 fig6a fig6b fig7 fig8a
    fig8b ccp xchain xclique xgen xgoo xtopdown xtpch xmem xcdc xqual
@@ -195,11 +205,17 @@ let () =
     | _ :: rest -> large_json rest
     | [] -> None
   in
+  let rec telemetry_json = function
+    | "--telemetry-json" :: path :: _ -> Some path
+    | _ :: rest -> telemetry_json rest
+    | [] -> None
+  in
+  let telemetry = List.mem "--telemetry" args in
   let rec positional = function
     | "--csv" :: _ :: rest | "--json" :: _ :: rest
     | "--adaptive-json" :: _ :: rest | "--profile-json" :: _ :: rest
     | "--parallel-json" :: _ :: rest | "--cache-json" :: _ :: rest
-    | "--large-json" :: _ :: rest ->
+    | "--large-json" :: _ :: rest | "--telemetry-json" :: _ :: rest ->
         positional rest
     | a :: rest when String.length a > 0 && a.[0] <> '-' -> a :: positional rest
     | _ :: rest -> positional rest
@@ -212,16 +228,20 @@ let () =
       profile_json args,
       parallel_json args,
       cache_json args,
-      large_json args )
+      large_json args,
+      telemetry_json args )
   with
-  | Some path, _, _, _, _, _ -> Json_bench.run ~quick ~path names
-  | None, Some path, _, _, _, _ -> Adaptive_bench.write_json ~quick ~path ()
-  | None, None, Some path, _, _, _ -> Profile_bench.write_json ~quick ~path ()
-  | None, None, None, Some path, _, _ ->
+  | Some path, _, _, _, _, _, _ -> Json_bench.run ~telemetry ~quick ~path names
+  | None, Some path, _, _, _, _, _ -> Adaptive_bench.write_json ~quick ~path ()
+  | None, None, Some path, _, _, _, _ ->
+      Profile_bench.write_json ~quick ~path ()
+  | None, None, None, Some path, _, _, _ ->
       Parallel_bench.write_json ~quick ~path ()
-  | None, None, None, None, Some path, _ ->
+  | None, None, None, None, Some path, _, _ ->
       Cache_bench.write_json ~quick ~path ()
-  | None, None, None, None, None, Some path ->
+  | None, None, None, None, None, Some path, _ ->
       Large_bench.write_json ~quick ~path ()
-  | None, None, None, None, None, None ->
+  | None, None, None, None, None, None, Some path ->
+      Telemetry_bench.write_json ~quick ~path ()
+  | None, None, None, None, None, None, None ->
       if bechamel then run_bechamel () else run_experiments ~quick names

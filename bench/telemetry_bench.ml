@@ -1,0 +1,81 @@
+(* Serving-telemetry replay benchmark (TELEMETRY_replay.json).
+
+   The same optimizer-as-a-service traffic cache_bench replays — a
+   Zipf-skewed stream over a universe of star templates, served by a
+   Driver.Pipeline plan cache from a warm Domain pool — but with the
+   always-on telemetry registry attached, and the deliverable is the
+   telemetry itself: the file written to <path> is the registry's
+   obs_telemetry/v1 snapshot (latency histograms with
+   p50/p95/p99/p999, cache-labeled counters, per-shard gauges, and
+   the top-k slowest requests with their promoted span trees), not a
+   bench_*/v1 summary.  The slow threshold sits between a warm hit
+   and a cold enumeration, so the promoted requests are exactly the
+   misses — what an operator would see pinning down a latency cliff.
+
+   The run aborts (exit 2) if any replayed request fails, so a green
+   run certifies that the instrumented serving path still answers
+   every request. *)
+
+module R = Workloads.Replay
+
+(* Same quick/full split as cache_bench, so the telemetry snapshot
+   describes the workload the cache gates already measure. *)
+let workload ~quick =
+  if quick then
+    ("star12", R.star ~satellites:11 ~variants:4 ~length:120 ())
+  else ("star16", R.star ~satellites:15 ~variants:8 ~length:400 ())
+
+(* Promotion threshold: comfortably above a warm cache hit (tens of
+   microseconds) and below a cold enumeration of the workload's star
+   (~10 ms at 12 relations, far more at 16). *)
+let slow_s ~quick = if quick then 1e-3 else 1e-2
+
+let replay pool tel cache w =
+  let n = Array.length w.R.requests in
+  let ok = Atomic.make true in
+  Parallel.Pool.run_fun pool n (fun i _wid ->
+      match
+        Driver.Pipeline.optimize_graph ~tel ~cache
+          ~algo:Core.Optimizer.Adaptive (R.graph w i)
+      with
+      | Ok _ -> ()
+      | Error _ -> Atomic.set ok false);
+  if not (Atomic.get ok) then begin
+    Printf.eprintf "telemetry_bench: a replayed request failed\n";
+    exit 2
+  end
+
+let write_json ~quick ~path () =
+  let mode = if quick then "quick" else "full" in
+  let name, w = workload ~quick in
+  let variants = Array.length w.R.universe in
+  let length = Array.length w.R.requests in
+  Printf.printf
+    "Telemetry replay (%s mode) -> %s\n\
+    \  workload %s: %d variants, %d requests, zipf skew\n"
+    mode path name variants length;
+  flush stdout;
+  (* ring sized to the stream, so the committed snapshot's top-k can
+     name the cold misses however late the stream runs *)
+  let tel =
+    Obs.Export.create ~recorder_capacity:(2 * length)
+      ~slow_s:(slow_s ~quick) ()
+  in
+  let cache = Driver.Pipeline.make_cache ~capacity:(2 * variants) () in
+  Gc.compact ();
+  let ms, () =
+    Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+        Bench_util.time_ms (fun () -> replay pool tel cache w))
+  in
+  Driver.Pipeline.export_cache_stats tel cache;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Obs.Export.to_json ~top:5 tel));
+  Printf.printf "  served %d requests in %s ms (%.3f ms/request)\n\n"
+    length (Bench_util.fmt_ms ms)
+    (ms /. float_of_int length);
+  Obs.Export.print_stats ~top:5 Format.std_formatter tel;
+  Format.pp_print_flush Format.std_formatter ();
+  Printf.printf "\nwrote %s\n" path;
+  flush stdout

@@ -6,6 +6,7 @@
      shape      generate a benchmark graph and optimize it
      analyze    EXPLAIN ANALYZE: per-operator est/actual rows + Q-error
      cache-stats  replay a Zipf-skewed stream through a plan cache
+     stats      replay with always-on telemetry; table / Prometheus / JSON
      ccp        csg-cmp-pair counts (DPhyp vs. brute force)
      dot        Graphviz export of a query or shape hypergraph
      trace      csg-cmp-pair emission trace (the paper's Figure 3);
@@ -418,6 +419,147 @@ let cache_stats_cmd =
           $ capacity $ jobs_arg $ seed)
 
 (* ------------------------------------------------------------------ *)
+(* stats: serve a replay with always-on telemetry and export it        *)
+
+let stats_cmd =
+  let run shape n variants requests alpha capacity jobs seed algo budget
+      prometheus json out top slow_ms =
+    let gen i =
+      let p = { Workloads.Shapes.default_params with seed = seed + i } in
+      match shape with
+      | "chain" -> Workloads.Shapes.chain ~p n
+      | "cycle" -> Workloads.Shapes.cycle ~p n
+      | "star" -> Workloads.Shapes.star ~p n
+      | "clique" -> Workloads.Shapes.clique ~p n
+      | s ->
+          invalid_arg
+            (Printf.sprintf "unknown shape %S (chain, cycle, star or clique)"
+               s)
+    in
+    match
+      Workloads.Replay.of_generator ~seed ~alpha ~variants ~length:requests
+        gen
+    with
+    | exception Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | w -> (
+        let tel = Obs.Export.create ~slow_s:(slow_ms /. 1e3) () in
+        let cache = Driver.Pipeline.make_cache ~capacity () in
+        let failed = Atomic.make None in
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            Parallel.Pool.run_fun pool requests (fun i _wid ->
+                match
+                  Driver.Pipeline.optimize_graph ~tel ~cache ~algo ?budget
+                    (Workloads.Replay.graph w i)
+                with
+                | Ok _ -> ()
+                | Error m -> Atomic.set failed (Some m)));
+        match Atomic.get failed with
+        | Some m ->
+            Format.eprintf "error: a replayed request failed: %s@." m;
+            1
+        | None -> (
+            Driver.Pipeline.export_cache_stats tel cache;
+            let doc =
+              if prometheus then Some (Obs.Export.prometheus tel)
+              else if json then Some (Obs.Export.to_json ~top tel)
+              else None
+            in
+            match doc, out with
+            | Some doc, None ->
+                print_string doc;
+                0
+            | Some doc, Some path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc doc);
+                Format.printf "telemetry written to %s@." path;
+                0
+            | None, _ ->
+                Format.printf
+                  "replayed %d requests over %d %s-%d variants (zipf %.2f, \
+                   algo %s) on %d domain%s@.@."
+                  requests variants shape n alpha
+                  (Core.Optimizer.name algo)
+                  jobs
+                  (if jobs = 1 then "" else "s");
+                Obs.Export.print_stats ~top Format.std_formatter tel;
+                0))
+  in
+  let variants =
+    Arg.(value & opt int 8
+         & info [ "variants" ]
+             ~doc:"Distinct query templates in the replay universe.")
+  in
+  let requests =
+    Arg.(value & opt int 200
+         & info [ "requests" ] ~doc:"Length of the replay request stream.")
+  in
+  let alpha =
+    Arg.(value & opt float 1.0
+         & info [ "alpha" ]
+             ~doc:"Zipf skew exponent of template popularity (0 = uniform).")
+  in
+  let capacity =
+    Arg.(value & opt int 64 & info [ "capacity" ] ~doc:"Plan-cache capacity.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Stream and catalog seed.")
+  in
+  (* Default adaptive, so the per-tier latency series are populated. *)
+  let algo =
+    let doc =
+      "Algorithm for the replayed requests (default adaptive, so the \
+       per-tier latency histograms are populated)."
+    in
+    Arg.(value & opt algo_conv Core.Optimizer.Adaptive
+         & info [ "a"; "algo" ] ~doc)
+  in
+  let prometheus =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Emit Prometheus text exposition format instead of the \
+                   human table (what a scrape endpoint would serve).")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the obs_telemetry/v1 JSON snapshot instead of the \
+                   human table.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the --prometheus / --json document to $(docv) \
+                   instead of stdout.")
+  in
+  let top =
+    Arg.(value & opt int 5
+         & info [ "top" ] ~doc:"Slowest requests to list from the flight \
+                                recorder.")
+  in
+  let slow_ms =
+    Arg.(value & opt float 100.0
+         & info [ "slow-ms" ]
+             ~doc:"Flight-recorder slow threshold in milliseconds: requests \
+                   at least this slow keep their full span tree.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Serve a Zipf-skewed replay stream through the optimizer with \
+          always-on serving telemetry — latency histograms per algorithm, \
+          phase and adaptive tier, plan-cache counters and per-shard \
+          occupancy, and a flight recorder of the slowest requests — then \
+          print the summary table, or export it with $(b,--prometheus) / \
+          $(b,--json).")
+    Term.(const run $ shape_arg $ n_arg $ variants $ requests $ alpha
+          $ capacity $ jobs_arg $ seed $ algo $ budget_arg $ prometheus
+          $ json $ out $ top $ slow_ms)
+
+(* ------------------------------------------------------------------ *)
 (* shape: benchmark graphs                                             *)
 
 let shape_cmd =
@@ -775,7 +917,7 @@ let main =
   Cmd.group info
     [
       optimize_cmd; explain_cmd; analyze_cmd; run_cmd; shape_cmd; graph_cmd;
-      cache_stats_cmd; ccp_cmd; dot_cmd; trace_cmd; tpch_cmd;
+      cache_stats_cmd; stats_cmd; ccp_cmd; dot_cmd; trace_cmd; tpch_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -205,6 +205,24 @@ let stats t =
 
 let capacity t = t.total_capacity
 
+let shard_entries t =
+  Array.map
+    (fun sh ->
+      Mutex.lock sh.lock;
+      let n = ready_count sh in
+      Mutex.unlock sh.lock;
+      n)
+    t.shards
+
+(* Rendered through the shared telemetry formatting (Obs.Export), so
+   `joinopt cache-stats`, EXPLAIN ANALYZE and `joinopt stats` can
+   never format these counters differently. *)
 let pp_stats ppf s =
-  Format.fprintf ppf "hits=%d misses=%d coalesced=%d evictions=%d entries=%d/%d"
-    s.hits s.misses s.coalesced s.evictions s.entries s.capacity
+  Obs.Export.pp_kvs ppf
+    [
+      Obs.Export.kv_int "hits" s.hits;
+      Obs.Export.kv_int "misses" s.misses;
+      Obs.Export.kv_int "coalesced" s.coalesced;
+      Obs.Export.kv_int "evictions" s.evictions;
+      Obs.Export.kv_ratio "entries" s.entries s.capacity;
+    ]

@@ -88,5 +88,11 @@ val stats : 'v t -> stats
 
 val capacity : 'v t -> int
 
+val shard_entries : 'v t -> int array
+(** Completed entries resident in each shard, in shard order — the
+    per-shard occupancy gauges of the telemetry export.  Each shard
+    is counted under its own lock; the array is a consistent-enough
+    snapshot for monitoring (shards are not frozen jointly). *)
+
 val pp_stats : Format.formatter -> stats -> unit
 (** One line: [hits=… misses=… coalesced=… evictions=… entries=…/…]. *)

@@ -26,8 +26,8 @@ let default_ks = [ 10; 7; 5; 3 ]
    b pairs") and deterministic.  The final GOO rung is deliberately
    unbudgeted — it is O(n^2 · n) pairs and must always produce the
    answer of last resort. *)
-let solve ?obs ?(model = Costing.Cost_model.c_out) ?budget ?(ks = default_ks)
-    g =
+let solve ?obs ?tel ?(model = Costing.Cost_model.c_out) ?budget
+    ?(ks = default_ks) g =
   let attempts = ref [] in
   let record tier completed (c : Counters.t) =
     attempts := { tier; completed; pairs = c.Counters.pairs_considered } :: !attempts
@@ -40,6 +40,24 @@ let solve ?obs ?(model = Costing.Cost_model.c_out) ?budget ?(ks = default_ks)
      [finally] so an attempt aborted by [Budget_exhausted] still
      reports what it cost before the exception unwinds. *)
   let tier_span tier (c : Counters.t) f =
+    (* Per-tier latency histogram, recorded whether or not spans are
+       being collected — the telemetry registry is the always-on
+       path. *)
+    let f =
+      match tel with
+      | None -> f
+      | Some tel ->
+          fun () ->
+            let t0 = Obs.Span.now () in
+            Fun.protect
+              ~finally:(fun () ->
+                Obs.Export.observe_s tel
+                  ~help:"Wall-clock seconds spent in each adaptive tier"
+                  ~labels:[ ("tier", tier_name tier) ]
+                  "joinopt_tier_latency_seconds"
+                  (Obs.Span.now () -. t0))
+              f
+    in
     match obs with
     | None -> f ()
     | Some ctx ->

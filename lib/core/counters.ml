@@ -75,12 +75,22 @@ let reset t =
   t.neighborhood_calls <- 0;
   match t.shared with None -> () | Some a -> Atomic.set a 0
 
+(* Rendered through the shared telemetry formatting so this line can
+   never disagree with what `joinopt stats` exports. *)
 let pp ppf t =
-  Format.fprintf ppf
-    "pairs=%d ccp=%d cost-calls=%d filtered=%d neighborhoods=%d"
-    t.pairs_considered t.ccp_emitted t.cost_calls t.filter_rejected
-    t.neighborhood_calls;
-  if t.budget_limit = max_int then Format.fprintf ppf " budget=unlimited"
-  else
-    Format.fprintf ppf " budget=%d remaining=%d" t.budget_limit
-      (max 0 (t.budget_limit - global_pairs t))
+  Obs.Export.pp_kvs ppf
+    ([
+       Obs.Export.kv_int "pairs" t.pairs_considered;
+       Obs.Export.kv_int "ccp" t.ccp_emitted;
+       Obs.Export.kv_int "cost-calls" t.cost_calls;
+       Obs.Export.kv_int "filtered" t.filter_rejected;
+       Obs.Export.kv_int "neighborhoods" t.neighborhood_calls;
+     ]
+    @
+    if t.budget_limit = max_int then [ Obs.Export.kv "budget" "unlimited" ]
+    else
+      [
+        Obs.Export.kv_int "budget" t.budget_limit;
+        Obs.Export.kv_int "remaining"
+          (max 0 (t.budget_limit - global_pairs t));
+      ])

@@ -54,7 +54,7 @@ type result = {
   attempts : Adaptive.attempt list;
 }
 
-let run ?obs ?model ?filter ?budget ?(k = Idp.default_k) algo g =
+let run ?obs ?tel ?model ?filter ?budget ?(k = Idp.default_k) algo g =
   if filter <> None && not (supports_filter algo) then
     invalid_arg
       (Printf.sprintf "Optimizer.run: %s does not support a validity filter"
@@ -94,7 +94,7 @@ let run ?obs ?model ?filter ?budget ?(k = Idp.default_k) algo g =
         let plan = Partition.solve ?obs ?model ~counters ~k g in
         { plan; counters; dp_entries = 0; tier = None; attempts = [] }
     | Adaptive ->
-        let o = Adaptive.solve ?obs ?model ?budget g in
+        let o = Adaptive.solve ?obs ?tel ?model ?budget g in
         {
           plan = o.Adaptive.plan;
           counters = o.Adaptive.counters;

@@ -38,15 +38,16 @@ let budget_error =
    a domain pool — only DPhyp has a parallel decomposition (see
    Parallel.Par_dphyp); every other algorithm refuses rather than
    silently running sequentially. *)
-let run_algo ?obs ?model ?filter ?budget ?k ~jobs algo graph =
-  if jobs <= 1 then Core.Optimizer.run ?obs ?model ?filter ?budget ?k algo graph
+let run_algo ?obs ?tel ?model ?filter ?budget ?k ~jobs algo graph =
+  if jobs <= 1 then
+    Core.Optimizer.run ?obs ?tel ?model ?filter ?budget ?k algo graph
   else if algo <> Core.Optimizer.Dphyp then
     invalid_arg
       (Printf.sprintf "jobs > 1 requires the dphyp algorithm (got %s)"
          (Core.Optimizer.name algo))
   else
     Parallel.Pool.with_pool ~jobs (fun pool ->
-        Parallel.Par_dphyp.run ?obs ?model ?filter ?budget ~pool graph)
+        Parallel.Par_dphyp.run ?obs ?tel ?model ?filter ?budget ~pool graph)
 
 (* The exact cache key: every input that can change the returned plan
    bytes.  The serialized graph carries node order, cardinalities,
@@ -74,11 +75,14 @@ let exact_key ?model ?budget ?k algo graph =
    coalesced wait returns the memoized result untouched — the cached
    plan is the exact value a fresh run would build, because the key
    is exact. *)
-let run_cached ?obs ?cache ?model ?filter ?budget ?k ~jobs algo graph =
+(* Returns the optimizer result plus the plan-cache outcome name, so
+   the telemetry layer can label series and recorder entries without
+   re-deriving it from span attributes. *)
+let run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k ~jobs algo graph =
   match cache with
-  | None -> run_algo ?obs ?model ?filter ?budget ?k ~jobs algo graph
+  | None -> (run_algo ?obs ?tel ?model ?filter ?budget ?k ~jobs algo graph, None)
   | Some _ when filter <> None ->
-      run_algo ?obs ?model ?filter ?budget ?k ~jobs algo graph
+      (run_algo ?obs ?tel ?model ?filter ?budget ?k ~jobs algo graph, None)
   | Some c ->
       Obs.Span.with_opt obs "cache" (fun sp ->
           let key =
@@ -88,11 +92,92 @@ let run_cached ?obs ?cache ?model ?filter ?budget ?k ~jobs algo graph =
           in
           let r, outcome =
             Cache.Plan_cache.find_or_compute c key (fun () ->
-                run_algo ?obs ?model ?budget ?k ~jobs algo graph)
+                run_algo ?obs ?tel ?model ?budget ?k ~jobs algo graph)
           in
-          Obs.Span.set_opt sp "cache"
-            (Obs.Span.Str (Cache.Plan_cache.outcome_name outcome));
-          r)
+          let name = Cache.Plan_cache.outcome_name outcome in
+          Obs.Span.set_opt sp "cache" (Obs.Span.Str name);
+          (r, Some name))
+
+(* ---------- serving telemetry ---------- *)
+
+let latency_help = "End-to-end optimize latency in seconds"
+
+let phase_help = "Per-pipeline-phase latency in seconds"
+
+(* Depth-0 span names, with the algorithm-specific enumerate span
+   collapsed to one "enumerate" phase so the series stays
+   low-cardinality. *)
+let phase_name (s : Obs.Sink.span) =
+  if String.length s.Obs.Sink.name >= 10
+     && String.sub s.Obs.Sink.name 0 10 = "enumerate:"
+  then "enumerate"
+  else s.Obs.Sink.name
+
+(* One always-on record per served request: the overall latency
+   histogram (labeled by algorithm, plan-cache outcome and
+   ok/error), the per-phase histograms harvested from the request's
+   depth-0 spans, and a flight-recorder entry (which keeps the whole
+   span tree when the request was slow). *)
+let tel_record tel ~obs ~t0 ~(gc0 : Gc.stat) ~algo ~graph outcome =
+  let wall_s = Obs.Span.now () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  let algo_name = Core.Optimizer.name algo in
+  let ok, tier, pairs, cache_outcome =
+    match outcome with
+    | Ok ((r : Core.Optimizer.result), outc) ->
+        ( r.Core.Optimizer.plan <> None,
+          Option.map Core.Adaptive.tier_name r.Core.Optimizer.tier,
+          r.Core.Optimizer.counters.Core.Counters.pairs_considered,
+          outc )
+    | Error () -> (false, None, 0, None)
+  in
+  Obs.Export.observe_s tel ~help:latency_help
+    ~labels:
+      [
+        ("algo", algo_name);
+        ("cache", Option.value cache_outcome ~default:"none");
+        ("result", (if ok then "ok" else "error"));
+      ]
+    "joinopt_optimize_latency_seconds" wall_s;
+  let spans = match obs with Some ctx -> Obs.Span.spans ctx | None -> [] in
+  List.iter
+    (fun (s : Obs.Sink.span) ->
+      if s.Obs.Sink.depth = 0 then
+        Obs.Export.observe_s tel ~help:phase_help
+          ~labels:[ ("phase", phase_name s) ]
+          "joinopt_phase_latency_seconds" s.Obs.Sink.dur_s)
+    spans;
+  Obs.Recorder.record (Obs.Export.recorder tel)
+    ~fingerprint:(Cache.Fingerprint.to_hex (Cache.Fingerprint.of_graph graph))
+    ~relations:(Hypergraph.Graph.num_nodes graph)
+    ~algo:algo_name ?tier ?cache:cache_outcome ~pairs ~wall_s
+    ~minor_words:(gc1.Gc.minor_words -. gc0.Gc.minor_words)
+    ~major_words:(gc1.Gc.major_words -. gc0.Gc.major_words)
+    ~spans ()
+
+let export_cache_stats tel cache =
+  let s = Cache.Plan_cache.stats cache in
+  let req outcome v =
+    Obs.Export.set_counter tel
+      ~help:"Plan-cache requests by outcome"
+      ~labels:[ ("outcome", outcome) ]
+      "joinopt_plan_cache_requests_total" v
+  in
+  req "hit" s.Cache.Plan_cache.hits;
+  req "miss" s.Cache.Plan_cache.misses;
+  req "coalesced" s.Cache.Plan_cache.coalesced;
+  Obs.Export.set_counter tel ~help:"Plan-cache evictions"
+    "joinopt_plan_cache_evictions_total" s.Cache.Plan_cache.evictions;
+  Obs.Export.set_gauge tel ~help:"Plan-cache total capacity"
+    "joinopt_plan_cache_capacity"
+    (float_of_int s.Cache.Plan_cache.capacity);
+  Array.iteri
+    (fun i n ->
+      Obs.Export.set_gauge tel
+        ~help:"Plan-cache resident entries per shard"
+        ~labels:[ ("shard", string_of_int i) ]
+        "joinopt_plan_cache_entries" (float_of_int n))
+    (Cache.Plan_cache.shard_entries cache)
 
 let build_profile ?cache obs r =
   Option.map
@@ -103,9 +188,22 @@ let build_profile ?cache obs r =
       | None -> p)
     obs
 
-let optimize_tree ?obs ?cache ?(mode = Tes_literal)
+(* Telemetry needs spans (per-phase histograms, slow-request span
+   promotion) even when the caller asked for no profile: requests
+   with [?tel] but no [?obs] get a private collector.  The result's
+   [profile] is still keyed off the caller's own ctx. *)
+let private_ctx obs tel =
+  match (obs, tel) with
+  | None, Some _ -> Some (Obs.Span.create ())
+  | _ -> obs
+
+let optimize_tree ?obs ?tel ?cache ?(mode = Tes_literal)
     ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k ?(jobs = 1) ?cards ?sels
     tree =
+  let obs_user = obs in
+  let obs = private_ctx obs tel in
+  let t0 = Obs.Span.now () in
+  let gc0 = Gc.quick_stat () in
   match Ot.validate tree with
   | Error e -> Error ("invalid operator tree: " ^ Ot.error_to_string e)
   | Ok () -> (
@@ -150,10 +248,17 @@ let optimize_tree ?obs ?cache ?(mode = Tes_literal)
                 support"
                (Core.Optimizer.name algo))
       | _ -> (
+          let finish outcome =
+            match tel with
+            | Some tel -> tel_record tel ~obs ~t0 ~gc0 ~algo ~graph outcome
+            | None -> ()
+          in
           match
-            run_cached ?obs ?cache ?model ?filter ?budget ?k ~jobs algo graph
+            run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k ~jobs algo
+              graph
           with
-          | { plan = Some plan; counters; tier; _ } as r ->
+          | ({ plan = Some plan; counters; tier; _ } as r), outc ->
+              finish (Ok (r, outc));
               Ok
                 {
                   tree;
@@ -161,28 +266,44 @@ let optimize_tree ?obs ?cache ?(mode = Tes_literal)
                   plan;
                   counters;
                   tier;
-                  profile = build_profile ?cache obs r;
+                  profile = build_profile ?cache obs_user r;
                 }
-          | { plan = None; _ } -> Error "no valid plan found"
-          | exception Invalid_argument m -> Error m
-          | exception Core.Counters.Budget_exhausted -> Error budget_error))
+          | ({ plan = None; _ } as r), outc ->
+              finish (Ok (r, outc));
+              Error "no valid plan found"
+          | exception Invalid_argument m ->
+              finish (Error ());
+              Error m
+          | exception Core.Counters.Budget_exhausted ->
+              finish (Error ());
+              Error budget_error))
 
-let optimize_sql ?obs ?cache ?mode ?algo ?model ?budget ?k ?jobs ?cards ?sels
-    sql =
+let optimize_sql ?obs ?tel ?cache ?mode ?algo ?model ?budget ?k ?jobs ?cards
+    ?sels sql =
   match Obs.Span.with_opt obs "parse" (fun _ -> Sqlfront.Binder.parse_and_bind sql) with
   | Error m -> Error m
   | Ok bound ->
-      optimize_tree ?obs ?cache ?mode ?algo ?model ?budget ?k ?jobs ?cards
-        ?sels bound.tree
+      optimize_tree ?obs ?tel ?cache ?mode ?algo ?model ?budget ?k ?jobs
+        ?cards ?sels bound.tree
 
-let optimize_graph ?obs ?cache ?(algo = Core.Optimizer.Dphyp) ?model ?budget
-    ?k ?(jobs = 1) graph =
-  match run_cached ?obs ?cache ?model ?budget ?k ~jobs algo graph with
-  | { plan = Some plan; counters; tier; _ } as r ->
+let optimize_graph ?obs ?tel ?cache ?(algo = Core.Optimizer.Dphyp) ?model
+    ?budget ?k ?(jobs = 1) graph =
+  let obs_user = obs in
+  let obs = private_ctx obs tel in
+  let t0 = Obs.Span.now () in
+  let gc0 = Gc.quick_stat () in
+  let finish outcome =
+    match tel with
+    | Some tel -> tel_record tel ~obs ~t0 ~gc0 ~algo ~graph outcome
+    | None -> ()
+  in
+  match run_cached ?obs ?tel ?cache ?model ?budget ?k ~jobs algo graph with
+  | ({ plan = Some plan; counters; tier; _ } as r), outc ->
       let tree =
         Obs.Span.with_opt obs "plan-emit" (fun _ ->
             Plans.Plan.to_optree graph plan)
       in
+      finish (Ok (r, outc));
       Ok
         {
           tree;
@@ -190,11 +311,17 @@ let optimize_graph ?obs ?cache ?(algo = Core.Optimizer.Dphyp) ?model ?budget
           plan;
           counters;
           tier;
-          profile = build_profile ?cache obs r;
+          profile = build_profile ?cache obs_user r;
         }
-  | { plan = None; _ } -> Error "no valid plan found"
-  | exception Invalid_argument m -> Error m
-  | exception Core.Counters.Budget_exhausted -> Error budget_error
+  | ({ plan = None; _ } as r), outc ->
+      finish (Ok (r, outc));
+      Error "no valid plan found"
+  | exception Invalid_argument m ->
+      finish (Error ());
+      Error m
+  | exception Core.Counters.Budget_exhausted ->
+      finish (Error ());
+      Error budget_error
 
 (* Inter-query parallelism: one pool task per query, each running the
    full sequential pipeline on whichever domain picks it up.  Every
@@ -202,14 +329,16 @@ let optimize_graph ?obs ?cache ?(algo = Core.Optimizer.Dphyp) ?model ?budget
    but the optional sink — and Obs.Sink.emit is serialized by a
    process-wide mutex, so all per-query span contexts may stream into
    one [?sink]. *)
-let run_batch ?sink ?pool ?cache ?mode ?algo ?model ?budget ?k ~jobs trees =
+let run_batch ?sink ?pool ?tel ?cache ?mode ?algo ?model ?budget ?k ~jobs
+    trees =
   let trees = Array.of_list trees in
   let out = Array.make (Array.length trees) (Error "query was not run") in
   let go pool =
     Parallel.Pool.run_fun pool (Array.length trees) (fun i _wid ->
         let obs = Option.map (fun sink -> Obs.Span.create ~sink ()) sink in
         out.(i) <-
-          optimize_tree ?obs ?cache ?mode ?algo ?model ?budget ?k trees.(i))
+          optimize_tree ?obs ?tel ?cache ?mode ?algo ?model ?budget ?k
+            trees.(i))
   in
   (match pool with
   | Some pool -> go pool

@@ -56,8 +56,17 @@ val cache_metrics : plan_cache -> Obs.Metrics.cache_stats
 (** Snapshot the cache counters into the plain-int record profiles
     carry (what [joinopt cache-stats] prints). *)
 
+val export_cache_stats : Obs.Export.t -> plan_cache -> unit
+(** Publish the cache's counters and occupancy into the telemetry
+    registry: [joinopt_plan_cache_requests_total{outcome=...}],
+    [joinopt_plan_cache_evictions_total], per-shard
+    [joinopt_plan_cache_entries{shard=...}] gauges and the capacity
+    gauge.  Call before rendering an export — the values are absolute
+    snapshots, safe to re-publish at any time. *)
+
 val optimize_tree :
   ?obs:Obs.Span.ctx ->
+  ?tel:Obs.Export.t ->
   ?cache:plan_cache ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
@@ -91,10 +100,23 @@ val optimize_tree :
     result's [profile] gains the cache-counter snapshot.  Parse,
     simplification, conflict analysis and graph derivation always run
     — they produce the key — so a hit costs one fingerprint plus one
-    serialization instead of an enumeration. *)
+    serialization instead of an enumeration.
+
+    [?tel] is always-on serving telemetry, independent of [?obs]:
+    every request records into the
+    [joinopt_optimize_latency_seconds{algo,cache,result}] histogram,
+    its depth-0 phases into
+    [joinopt_phase_latency_seconds{phase}], per-tier latencies (when
+    adaptive) into [joinopt_tier_latency_seconds{tier}], and a flat
+    entry — fingerprint, relations, tier, cache outcome, pairs, wall
+    clock, allocation — into the registry's flight recorder, which
+    keeps the full span tree for requests over the slow threshold.
+    Requests that fail before a hypergraph exists (invalid tree,
+    unparseable SQL) record nothing. *)
 
 val optimize_sql :
   ?obs:Obs.Span.ctx ->
+  ?tel:Obs.Export.t ->
   ?cache:plan_cache ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
@@ -110,6 +132,7 @@ val optimize_sql :
 
 val optimize_graph :
   ?obs:Obs.Span.ctx ->
+  ?tel:Obs.Export.t ->
   ?cache:plan_cache ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
@@ -125,6 +148,7 @@ val optimize_graph :
 val run_batch :
   ?sink:Obs.Sink.t ->
   ?pool:Parallel.Pool.t ->
+  ?tel:Obs.Export.t ->
   ?cache:plan_cache ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->

@@ -1,0 +1,206 @@
+(* HDR-style log-linear histogram with per-domain stripes.
+
+   Bucketing: values below [sub] (128) get exact unit buckets; above
+   that, every power-of-two octave is split into [half] (64) equal
+   sub-buckets, so the relative width of any bucket is at most 1/64
+   (~1.6%).  Bucket indexes are computed with shifts only — no floats,
+   no logs — and the whole grid is one fixed-size int array.
+
+   Recording: each domain owns a private stripe (found by scanning a
+   small atomically-published array for its domain id), so the hot
+   path is an array increment with no lock and no contended cache
+   line.  Stripe creation — once per domain per histogram — takes the
+   registry mutex.  Only the owner ever writes a stripe; [snapshot]
+   reads every stripe and merges, so counts recorded before a
+   [Domain.join] are exact in any snapshot taken after it (the join
+   provides the happens-before edge), and concurrent snapshots are
+   merely slightly stale, never torn (ints do not tear). *)
+
+let sub_bits = 7
+
+let sub = 1 lsl sub_bits (* 128 linear unit buckets *)
+
+let half = sub / 2 (* 64 sub-buckets per octave *)
+
+let max_msb = 61
+
+let max_value = max_int (* 2^62 - 1 on 64-bit: msb 61 *)
+
+let num_buckets = sub + ((max_msb - sub_bits + 1) * half)
+
+let msb v =
+  let v = ref v and r = ref 0 in
+  if !v lsr 32 <> 0 then begin r := !r + 32; v := !v lsr 32 end;
+  if !v lsr 16 <> 0 then begin r := !r + 16; v := !v lsr 16 end;
+  if !v lsr 8 <> 0 then begin r := !r + 8; v := !v lsr 8 end;
+  if !v lsr 4 <> 0 then begin r := !r + 4; v := !v lsr 4 end;
+  if !v lsr 2 <> 0 then begin r := !r + 2; v := !v lsr 2 end;
+  if !v lsr 1 <> 0 then incr r;
+  !r
+
+let clamp v = if v < 0 then 0 else if v > max_value then max_value else v
+
+let bucket_of v =
+  let v = clamp v in
+  if v < sub then v
+  else
+    let m = msb v in
+    sub + ((m - sub_bits) * half) + ((v lsr (m - sub_bits + 1)) - half)
+
+(* Inclusive [low, high] range of bucket [i]. *)
+let bucket_bounds i =
+  if i < sub then (i, i)
+  else
+    let o = (i - sub) / half and s = (i - sub) mod half in
+    let shift = o + 1 in
+    let low = (half + s) lsl shift in
+    (low, low + (1 lsl shift) - 1)
+
+let bucket_high i = snd (bucket_bounds i)
+
+type stripe = {
+  owner : int; (* domain id; only that domain writes this stripe *)
+  counts : int array;
+  mutable s_count : int;
+  mutable s_sum : int;
+  mutable s_min : int;
+  mutable s_max : int;
+}
+
+type t = { stripes : stripe array Atomic.t; reg : Mutex.t }
+
+let create () = { stripes = Atomic.make [||]; reg = Mutex.create () }
+
+let new_stripe owner =
+  {
+    owner;
+    counts = Array.make num_buckets 0;
+    s_count = 0;
+    s_sum = 0;
+    s_min = max_int;
+    s_max = 0;
+  }
+
+let rec stripe_for t me =
+  let stripes = Atomic.get t.stripes in
+  let n = Array.length stripes in
+  let rec find i =
+    if i >= n then None
+    else if stripes.(i).owner = me then Some stripes.(i)
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some s -> s
+  | None ->
+      Mutex.lock t.reg;
+      (* only domain [me] can register [me], so no double-insert race;
+         re-publish atomically so concurrent readers never lose other
+         domains' stripes *)
+      let cur = Atomic.get t.stripes in
+      Atomic.set t.stripes (Array.append cur [| new_stripe me |]);
+      Mutex.unlock t.reg;
+      stripe_for t me
+
+let record t v =
+  let v = clamp v in
+  let s = stripe_for t (Domain.self () :> int) in
+  s.counts.(bucket_of v) <- s.counts.(bucket_of v) + 1;
+  s.s_count <- s.s_count + 1;
+  s.s_sum <- s.s_sum + v;
+  if v < s.s_min then s.s_min <- v;
+  if v > s.s_max then s.s_max <- v
+
+type snapshot = {
+  counts : int array;
+  count : int;
+  sum : int;
+  min_v : int; (* max_int when empty *)
+  max_v : int;
+}
+
+let snapshot t =
+  let out = Array.make num_buckets 0 in
+  let sum = ref 0 and mn = ref max_int and mx = ref 0 in
+  Array.iter
+    (fun (s : stripe) ->
+      Array.iteri (fun i c -> if c <> 0 then out.(i) <- out.(i) + c) s.counts;
+      sum := !sum + s.s_sum;
+      if s.s_min < !mn then mn := s.s_min;
+      if s.s_max > !mx then mx := s.s_max)
+    (Atomic.get t.stripes);
+  (* count from the merged array, so quantile walks and the reported
+     total can never disagree *)
+  let count = Array.fold_left ( + ) 0 out in
+  { counts = out; count; sum = !sum; min_v = !mn; max_v = !mx }
+
+let merge a b =
+  {
+    counts = Array.init num_buckets (fun i -> a.counts.(i) + b.counts.(i));
+    count = a.count + b.count;
+    sum = a.sum + b.sum;
+    min_v = min a.min_v b.min_v;
+    max_v = max a.max_v b.max_v;
+  }
+
+let count s = s.count
+
+let sum s = s.sum
+
+let min_recorded s = if s.count = 0 then 0 else s.min_v
+
+let max_recorded s = s.max_v
+
+let mean s =
+  if s.count = 0 then 0.0 else float_of_int s.sum /. float_of_int s.count
+
+(* Nearest-rank quantile: the value at rank ceil(q*count) of the
+   sorted recordings, reported as the upper bound of its bucket
+   (clamped to the exact recorded maximum).  Because cumulative bucket
+   order is value order, the reported value sits in the same bucket as
+   the exact sorted-list quantile, i.e. within one bucket's relative
+   error (<= 1/64 above 128, exact below). *)
+let quantile s q =
+  if s.count = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      max 1 (min s.count (int_of_float (ceil (q *. float_of_int s.count))))
+    in
+    let cum = ref 0 and i = ref 0 and res = ref s.max_v in
+    (try
+       while !i < num_buckets do
+         cum := !cum + s.counts.(!i);
+         if !cum >= rank then begin
+           res := bucket_high !i;
+           raise Exit
+         end;
+         incr i
+       done
+     with Exit -> ());
+    min !res s.max_v
+  end
+
+(* Observations <= v, counted in whole buckets (the straddling
+   bucket's tail is excluded, an undercount of at most one bucket's
+   width — the same <= 1/64 relative error as everything else). *)
+let count_le s v =
+  let v = clamp v in
+  let cum = ref 0 in
+  (try
+     for i = 0 to num_buckets - 1 do
+       if bucket_high i > v then raise Exit;
+       cum := !cum + s.counts.(i)
+     done
+   with Exit -> ());
+  !cum
+
+let buckets s =
+  let acc = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if s.counts.(i) <> 0 then acc := (bucket_high i, s.counts.(i)) :: !acc
+  done;
+  !acc
+
+let equal_snapshot a b =
+  a.count = b.count && a.sum = b.sum && a.min_v = b.min_v && a.max_v = b.max_v
+  && a.counts = b.counts

@@ -1,0 +1,95 @@
+(** HDR-style log-linear latency histograms.
+
+    A histogram records non-negative integers (by convention
+    nanoseconds) into a fixed grid of buckets: unit-width buckets
+    below 128, then 64 equal sub-buckets per power-of-two octave, so
+    any recorded value is representable within a relative error of
+    1/64 (~1.6%) — exact below 128 — up to [max_int].  The grid is a
+    fixed-size int array (no allocation per record, no floats on the
+    hot path).
+
+    {2 Concurrency}
+
+    Recording is {e lock-free-ish}: each domain owns a private stripe
+    of the bucket array, found by scanning a small atomically
+    published registry for its domain id; the hot path is then a
+    plain array increment with no lock and no shared cache line.
+    Stripe creation (once per domain per histogram) takes a mutex.
+    {!snapshot} merges every stripe: counts recorded by a domain that
+    has since been [Domain.join]ed are exactly visible (the join is
+    the happens-before edge), and a snapshot concurrent with active
+    recorders may be slightly stale but never torn or lost — the
+    per-domain counter-conservation test in [test/test_obs.ml] pins
+    this.
+
+    {2 Queries}
+
+    All queries run on immutable {!snapshot}s, which are mergeable
+    ([merge a b] is indistinguishable from recording both value
+    streams into one histogram — a tested identity).  {!quantile} is
+    nearest-rank: the reported value lies in the same bucket as the
+    exact sorted-list quantile, i.e. within one bucket's relative
+    error. *)
+
+type t
+(** A live histogram, shareable across domains. *)
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one value.  Negative values clamp to 0, values above
+    [max_int]'s bucket range clamp to the top bucket. *)
+
+type snapshot
+(** An immutable merged view of every stripe. *)
+
+val snapshot : t -> snapshot
+
+val merge : snapshot -> snapshot -> snapshot
+
+val count : snapshot -> int
+(** Total recorded values. *)
+
+val sum : snapshot -> int
+(** Sum of all recorded values (exact — summed at record time, not
+    reconstructed from buckets). *)
+
+val mean : snapshot -> float
+(** [sum / count]; 0 when empty. *)
+
+val min_recorded : snapshot -> int
+(** Exact minimum recorded value; 0 when empty. *)
+
+val max_recorded : snapshot -> int
+(** Exact maximum recorded value; 0 when empty. *)
+
+val quantile : snapshot -> float -> int
+(** [quantile s q] — the value at rank [ceil (q * count)] (nearest
+    rank, [q] clamped to [0,1]), reported as the inclusive upper
+    bound of its bucket and clamped to {!max_recorded}.  0 when
+    empty.  Guaranteed [exact <= quantile] and
+    [quantile - exact <= exact / 64]. *)
+
+val count_le : snapshot -> int -> int
+(** Observations [<= v], counted in whole buckets (the straddling
+    bucket is excluded — an undercount of at most one bucket width).
+    This is the cumulative-bucket query behind Prometheus [le]
+    series. *)
+
+val buckets : snapshot -> (int * int) list
+(** Non-empty buckets in increasing value order, as
+    [(inclusive upper bound, count)]. *)
+
+val equal_snapshot : snapshot -> snapshot -> bool
+(** Structural equality of counts, totals and extrema (the merge
+    identity test uses this). *)
+
+(**/**)
+
+val bucket_of : int -> int
+(** Bucket index of a value (exposed for tests). *)
+
+val bucket_high : int -> int
+(** Inclusive upper bound of a bucket index (exposed for tests). *)
+
+val num_buckets : int

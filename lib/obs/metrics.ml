@@ -40,9 +40,18 @@ type profile = {
 
 let make ?counters ?(dp_entries = 0) ?(tiers = []) ?winning_tier ?quality
     ?cache ~total_s spans =
+  (* Sort with a total tie-break (start, depth, name): concurrent
+     spans can share a start timestamp, and golden/--stable diffs need
+     byte-stable ordering however the scheduler interleaved them. *)
   let spans =
     List.stable_sort
-      (fun (a : Sink.span) (b : Sink.span) -> compare a.start_s b.start_s)
+      (fun (a : Sink.span) (b : Sink.span) ->
+        match compare a.start_s b.start_s with
+        | 0 -> (
+            match compare a.depth b.depth with
+            | 0 -> String.compare a.name b.name
+            | c -> c)
+        | c -> c)
       spans
   in
   { spans; total_s; counters; dp_entries; tiers; winning_tier; quality; cache }
@@ -65,8 +74,8 @@ let counters_json c =
     (opt_int_json c.budget_remaining)
 
 let tier_json t =
-  Printf.sprintf "{\"tier\": %S, \"completed\": %b, \"pairs\": %d}" t.tier
-    t.completed t.pairs
+  Printf.sprintf "{\"tier\": %s, \"completed\": %b, \"pairs\": %d}"
+    (Json_util.quote t.tier) t.completed t.pairs
 
 let opt_float_json = function
   | None -> "null"
@@ -81,19 +90,20 @@ let cache_json c =
 
 let quality_json q =
   Printf.sprintf
-    "{\"tier\": %S, \"est_cout\": %.4f, \"measured_cout\": %.4f, \
+    "{\"tier\": %s, \"est_cout\": %.4f, \"measured_cout\": %.4f, \
      \"exact_cout\": %s, \"delta\": %s}"
-    q.q_tier q.est_cout q.measured_cout (opt_float_json q.exact_cout)
+    (Json_util.quote q.q_tier) q.est_cout q.measured_cout
+    (opt_float_json q.exact_cout)
     (opt_float_json q.delta)
 
 let to_json ?(name = "run") p =
   let b = Buffer.create 1024 in
   Buffer.add_string b "    {\n";
-  Printf.bprintf b "      \"name\": %S,\n" name;
+  Printf.bprintf b "      \"name\": %s,\n" (Json_util.quote name);
   Printf.bprintf b "      \"total_ms\": %.4f,\n" (p.total_s *. 1e3);
   Printf.bprintf b "      \"winning_tier\": %s,\n"
     (match p.winning_tier with
-    | Some t -> Printf.sprintf "%S" t
+    | Some t -> Json_util.quote t
     | None -> "null");
   Printf.bprintf b "      \"dp_entries\": %d,\n" p.dp_entries;
   Printf.bprintf b "      \"counters\": %s,\n"
@@ -142,17 +152,22 @@ let pp_table ppf p =
     (if p.total_s > 0.0 then 100.0 *. covered /. p.total_s else 100.0);
   (match p.counters with
   | Some c ->
-      Format.fprintf ppf
-        "counters: pairs=%d ccp=%d cost-calls=%d filtered=%d neighborhoods=%d \
-         budget=%s remaining=%s@."
-        c.pairs_considered c.ccp_emitted c.cost_calls c.filter_rejected
-        c.neighborhood_calls
-        (match c.budget_limit with
-        | Some b -> string_of_int b
-        | None -> "unlimited")
-        (match c.budget_remaining with
-        | Some r -> string_of_int r
-        | None -> "unlimited")
+      Format.fprintf ppf "counters: %a@." Export.pp_kvs
+        [
+          Export.kv_int "pairs" c.pairs_considered;
+          Export.kv_int "ccp" c.ccp_emitted;
+          Export.kv_int "cost-calls" c.cost_calls;
+          Export.kv_int "filtered" c.filter_rejected;
+          Export.kv_int "neighborhoods" c.neighborhood_calls;
+          Export.kv "budget"
+            (match c.budget_limit with
+            | Some b -> string_of_int b
+            | None -> "unlimited");
+          Export.kv "remaining"
+            (match c.budget_remaining with
+            | Some r -> string_of_int r
+            | None -> "unlimited");
+        ]
   | None -> ());
   (match p.tiers with
   | [] -> ()
@@ -179,10 +194,13 @@ let pp_table ppf p =
   | None -> ());
   (match p.cache with
   | Some c ->
-      Format.fprintf ppf
-        "plan cache: hits=%d misses=%d coalesced=%d evictions=%d \
-         entries=%d/%d@."
-        c.cache_hits c.cache_misses c.cache_coalesced c.cache_evictions
-        c.cache_entries c.cache_capacity
+      Format.fprintf ppf "plan cache: %a@." Export.pp_kvs
+        [
+          Export.kv_int "hits" c.cache_hits;
+          Export.kv_int "misses" c.cache_misses;
+          Export.kv_int "coalesced" c.cache_coalesced;
+          Export.kv_int "evictions" c.cache_evictions;
+          Export.kv_ratio "entries" c.cache_entries c.cache_capacity;
+        ]
   | None -> ());
   Format.fprintf ppf "dp entries: %d@." p.dp_entries

@@ -23,21 +23,29 @@ let chrome path = Chrome { path; buffered = [] }
 let value_to_json = function
   | Int i -> string_of_int i
   | Float f -> Printf.sprintf "%.6g" f
-  | Str s -> Printf.sprintf "%S" s
+  | Str s -> Json_util.quote s
   | Bool b -> if b then "true" else "false"
 
+(* Attrs render sorted by key so any two emissions of the same span
+   are byte-identical regardless of the order attrs were set. *)
 let attrs_to_json attrs =
+  let attrs =
+    List.stable_sort (fun (a, _) (b, _) -> String.compare a b) attrs
+  in
   "{"
   ^ String.concat ", "
-      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k (value_to_json v)) attrs)
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "%s: %s" (Json_util.quote k) (value_to_json v))
+         attrs)
   ^ "}"
 
 let span_to_json s =
   Printf.sprintf
-    "{\"name\": %S, \"depth\": %d, \"start_ms\": %.4f, \"ms\": %.4f, \
+    "{\"name\": %s, \"depth\": %d, \"start_ms\": %.4f, \"ms\": %.4f, \
      \"minor_words\": %.0f, \"major_words\": %.0f, \"attrs\": %s}"
-    s.name s.depth (s.start_s *. 1e3) (s.dur_s *. 1e3) s.minor_words
-    s.major_words (attrs_to_json s.attrs)
+    (Json_util.quote s.name) s.depth (s.start_s *. 1e3) (s.dur_s *. 1e3)
+    s.minor_words s.major_words (attrs_to_json s.attrs)
 
 (* Chrome trace-event format: "X" (complete) events with microsecond
    timestamps; nesting is reconstructed by the viewer from ts/dur. *)
@@ -48,9 +56,10 @@ let chrome_event s =
     :: s.attrs
   in
   Printf.sprintf
-    "{\"name\": %S, \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \
+    "{\"name\": %s, \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \
      \"tid\": 1, \"args\": %s}"
-    s.name (s.start_s *. 1e6) (s.dur_s *. 1e6) (attrs_to_json args)
+    (Json_util.quote s.name) (s.start_s *. 1e6) (s.dur_s *. 1e6)
+    (attrs_to_json args)
 
 let chrome_trace_json spans =
   "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"

@@ -168,7 +168,7 @@ let shard_iter f = function
 
 (* ---- the three phases -------------------------------------------- *)
 
-let run_parallel ?obs ~model ?filter ?budget ~pool g =
+let run_parallel ?obs ?tel ~model ?filter ?budget ~pool g =
   let jobs = Pool.jobs pool in
   let n = G.num_nodes g in
   Obs.Span.with_opt obs "enumerate:dphyp-par" (fun sp ->
@@ -220,6 +220,10 @@ let run_parallel ?obs ~model ?filter ?budget ~pool g =
          exactly. *)
       let shard = shard_create g in
       let stripes = Array.init num_stripes (fun _ -> Mutex.create ()) in
+      (* Per-domain emit/merge time: each worker accumulates into its
+         own slot (race-free), recorded into the telemetry histogram
+         after the last layer barrier. *)
+      let merge_s = Array.make jobs 0.0 in
       Ns.iter (fun v -> shard_add shard stripes 0 (Plan.scan g v))
         (G.all_nodes g);
       Obs.Span.with_opt obs "par:emit" (fun _ ->
@@ -242,6 +246,10 @@ let run_parallel ?obs ~model ?filter ?budget ~pool g =
               let nchunks = min total (jobs * 4) in
               let chunk = (total + nchunks - 1) / nchunks in
               Pool.run_fun pool nchunks (fun ci wid ->
+                  let t0 = Obs.Span.now () in
+                  Fun.protect ~finally:(fun () ->
+                      merge_s.(wid) <- merge_s.(wid) +. (Obs.Span.now () -. t0))
+                  @@ fun () ->
                   let lo = ci * chunk and hi = min total ((ci + 1) * chunk) in
                   if lo < hi then begin
                     let b = ref 0 in
@@ -278,6 +286,19 @@ let run_parallel ?obs ~model ?filter ?budget ~pool g =
       let dp = Dp.create_for g in
       shard_iter (Dp.force dp) shard;
       Array.iter (fun c -> Core.Counters.absorb ~into:parent c) forks;
+      (match tel with
+      | None -> ()
+      | Some tel ->
+          Array.iteri
+            (fun i s ->
+              if s > 0.0 then
+                Obs.Export.observe_s tel
+                  ~help:
+                    "Per-domain seconds spent merging buffered pairs into \
+                     the sharded DP table"
+                  ~labels:[ ("domain", string_of_int i) ]
+                  "joinopt_parallel_merge_seconds" s)
+            merge_s);
       (match sp with
       | None -> ()
       | Some sp ->
@@ -301,11 +322,12 @@ let run_parallel ?obs ~model ?filter ?budget ~pool g =
         attempts = [];
       })
 
-let run ?obs ?(model = Costing.Cost_model.c_out) ?filter ?budget ~pool g =
+let run ?obs ?tel ?(model = Costing.Cost_model.c_out) ?filter ?budget ~pool g
+    =
   (* Wide graphs (n beyond the single-word width) don't fit the
      pair-packing scheme of the parallel replay, and exhaustive DP is
      not what anyone runs at that scale anyway — dispatch sequential
      and let the adaptive ladder's partitioned tier do its job. *)
   if Pool.jobs pool <= 1 || G.num_nodes g > Ns.small_capacity then
-    Core.Optimizer.run ?obs ~model ?filter ?budget Core.Optimizer.Dphyp g
-  else run_parallel ?obs ~model ?filter ?budget ~pool g
+    Core.Optimizer.run ?obs ?tel ~model ?filter ?budget Core.Optimizer.Dphyp g
+  else run_parallel ?obs ?tel ~model ?filter ?budget ~pool g

@@ -117,6 +117,64 @@ dune exec tools/bench_diff.exe -- --threshold 0.02 \
 dune build bin/joinopt.exe
 dune exec bin/joinopt.exe -- cache-stats -s star -n 8 --variants 3 \
   --requests 40 --capacity 16 --jobs 2 | grep -q 'hits='
+# Telemetry smoke point: the Zipf replay served with the always-on
+# registry must emit one obs_telemetry/v1 snapshot with latency
+# quantiles through p999, cache-labeled counters and slow requests.
+dune exec bench/main.exe -- --quick --telemetry-json "$out/bench_telemetry.json"
+grep -q '"schema": "obs_telemetry/v1"' "$out/bench_telemetry.json"
+grep -q '"joinopt_optimize_latency_seconds"' "$out/bench_telemetry.json"
+grep -q '"p50_ms"' "$out/bench_telemetry.json"
+grep -q '"p99_ms"' "$out/bench_telemetry.json"
+grep -q '"p999_ms"' "$out/bench_telemetry.json"
+grep -q '"outcome": "hit"' "$out/bench_telemetry.json"
+grep -q '"slow_requests"' "$out/bench_telemetry.json"
+grep -q '"fingerprint"' "$out/bench_telemetry.json"
+if grep -qi 'nan' "$out/bench_telemetry.json"; then
+  echo "telemetry snapshot contains NaN" >&2
+  exit 1
+fi
+# stats CLI, Prometheus exposition: well-formed HELP/TYPE headers,
+# cumulative latency buckets, per-tier and cache-labeled series, and
+# never a NaN sample value.
+dune build bin/joinopt.exe
+dune exec bin/joinopt.exe -- stats -s star -n 8 --variants 3 \
+  --requests 60 --capacity 16 --jobs 2 --algo adaptive \
+  --prometheus > "$out/stats.prom"
+grep -q '^# HELP joinopt_optimize_latency_seconds ' "$out/stats.prom"
+grep -q '^# TYPE joinopt_optimize_latency_seconds histogram' "$out/stats.prom"
+grep -q 'joinopt_optimize_latency_seconds_bucket{.*le="+Inf"' "$out/stats.prom"
+grep -q 'joinopt_optimize_latency_seconds_count' "$out/stats.prom"
+grep -q 'joinopt_tier_latency_seconds_bucket{tier="' "$out/stats.prom"
+grep -q 'joinopt_plan_cache_requests_total{outcome="hit"}' "$out/stats.prom"
+grep -q 'joinopt_plan_cache_entries{shard="' "$out/stats.prom"
+if grep -qi 'nan' "$out/stats.prom"; then
+  echo "prometheus exposition contains NaN" >&2
+  exit 1
+fi
+# the same serving session as JSON must be the telemetry schema
+dune exec bin/joinopt.exe -- stats -s star -n 8 --variants 3 \
+  --requests 60 --capacity 16 --jobs 2 --json > "$out/stats.json"
+grep -q '"schema": "obs_telemetry/v1"' "$out/stats.json"
+# Always-on overhead gate: re-measure the fig6b star-16 family with
+# the per-request telemetry work (fingerprint + histogram record +
+# flight-recorder push) inside the measured closure and hold ns/ccp
+# within 5% of the committed plain baseline.  Three attempts, same as
+# the flat-fast-path gate above: noise passes eventually, a real
+# overhead regression fails all three.
+tel_ok=0
+for i in 1 2 3; do
+  dune exec bench/main.exe -- --quick --telemetry --json \
+    "$out/bench_tel.json" fig6b_star16
+  if dune exec tools/bench_diff.exe -- --threshold 1.05 \
+      results/BENCH_dphyp.json "$out/bench_tel.json"; then
+    tel_ok=1
+    break
+  fi
+done
+test "$tel_ok" -eq 1
+# and the committed pair: full-mode telemetry run vs plain baseline
+dune exec tools/bench_diff.exe -- --threshold 1.05 \
+  results/BENCH_dphyp.json results/BENCH_dphyp_telemetry.json
 # Large-query smoke point: the quick 100+ relation graphs must plan
 # end-to-end on the partitioned tier (the emitter aborts on the first
 # Plan_check-invalid plan) and emit a bench_large/v1 document.
