@@ -9,6 +9,8 @@
      stats      replay with always-on telemetry; table / Prometheus / JSON
      ccp        csg-cmp-pair counts (DPhyp vs. brute force)
      dot        Graphviz export of a query or shape hypergraph
+     inspect    search-space provenance: memo dump / JSON / lattice
+     why        cost a forced join order against the recorded memo
      trace      csg-cmp-pair emission trace (the paper's Figure 3);
                 execution span tracing is --trace-out, not this  *)
 
@@ -471,10 +473,9 @@ let stats_cmd =
                 print_string doc;
                 0
             | Some doc, Some path ->
-                let oc = open_out path in
-                Fun.protect
-                  ~finally:(fun () -> close_out oc)
-                  (fun () -> output_string oc doc);
+                (* atomic: a scraper polling the file never sees a
+                   truncated document *)
+                Obs.Atomic_file.write path doc;
                 Format.printf "telemetry written to %s@." path;
                 0
             | None, _ ->
@@ -802,11 +803,7 @@ let analyze_cmd =
         Format.printf "%a" (Driver.Analyze.pp ~stable) rep;
         (match json_out with
         | Some path ->
-            let oc = open_out path in
-            Fun.protect
-              ~finally:(fun () -> close_out oc)
-              (fun () ->
-                output_string oc (Driver.Analyze.to_json ~query:sql rep));
+            Obs.Atomic_file.write path (Driver.Analyze.to_json ~query:sql rep);
             Format.printf "analyze report written to %s@." path
         | None -> ());
         (match obs with
@@ -860,6 +857,153 @@ let analyze_cmd =
     Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
           $ conservative_arg $ rows $ seed $ sample $ json_out $ stable
           $ profile_arg $ trace_out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* inspect: search-space provenance — memo dump / JSON / lattice       *)
+
+let inspect_cmd =
+  let run shape n splits algo model budget k json dot out sample max_subsets
+      max_champions =
+    match graph_of_shape shape n splits with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok g -> (
+        let prov =
+          Inspect.Provenance.create ~sample ~max_subsets ~max_champions ()
+        in
+        match
+          Driver.Pipeline.optimize_graph ~inspect:prov ~algo ~model ?budget ~k
+            g
+        with
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            1
+        | Ok r ->
+            let names i = (G.relation g i).G.name in
+            let doc =
+              if json then
+                Some
+                  (Inspect.Provenance.to_json ~names
+                     ~name:(Printf.sprintf "%s-%d" shape n)
+                     prov)
+              else if dot then Some (Inspect.Provenance.to_dot ~names prov)
+              else None
+            in
+            (match doc, out with
+            | Some doc, None -> print_string doc
+            | Some doc, Some path ->
+                Obs.Atomic_file.write path doc;
+                Format.printf "inspect report written to %s@." path
+            | None, _ ->
+                let plan = r.Driver.Pipeline.plan in
+                Format.printf "plan: %a@.cost: %.4g@." Plans.Plan.pp plan
+                  plan.Plans.Plan.cost;
+                (match r.Driver.Pipeline.tier with
+                | Some t ->
+                    Format.printf "tier: %s@." (Core.Adaptive.tier_name t)
+                | None -> ());
+                Inspect.Provenance.pp_table ~names Format.std_formatter prov;
+                (* when a fallback tier won, show what it cost *)
+                match r.Driver.Pipeline.tier with
+                | Some t when t <> Core.Adaptive.Exact -> (
+                    match
+                      Core.Partition.loss_report
+                        ~labels:(Core.Adaptive.tier_name t, "exact")
+                        g plan
+                    with
+                    | Some rep -> Format.printf "@.loss vs exact:@.%s" rep
+                    | None -> ())
+                | _ -> ());
+            0)
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the obs_inspect/v1 JSON document instead of the \
+                   human memo table.")
+  in
+  let dot =
+    Arg.(value & flag
+         & info [ "dot" ]
+             ~doc:"Emit the explored subset lattice as a Graphviz digraph \
+                   (one node per recorded subset, edges from the halves of \
+                   each winning decomposition).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the --json / --dot document to $(docv) instead of \
+                   stdout (atomic temp-file + rename).")
+  in
+  let sample =
+    Arg.(value & opt int 1
+         & info [ "sample" ]
+             ~doc:"Keep champion history only for subsets whose hash is 0 \
+                   mod $(docv) (1 = record everything; aggregate counts \
+                   always cover every update).")
+  in
+  let max_subsets =
+    Arg.(value & opt int 65536
+         & info [ "max-subsets" ]
+             ~doc:"Bound on subsets with recorded history.")
+  in
+  let max_champions =
+    Arg.(value & opt int 8
+         & info [ "max-champions" ]
+             ~doc:"Champion-history entries kept per subset (oldest \
+                   dropped).")
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Optimize a benchmark graph with search-space provenance recording \
+          and dump the memo: per subset the winning csg-cmp-pair, its cost, \
+          what it displaced and at which arrival rank, plus aggregate \
+          pruning statistics — as a human table, obs_inspect/v1 JSON \
+          ($(b,--json)) or a Graphviz subset lattice ($(b,--dot)).  With a \
+          fallback tier (e.g. $(b,--algo) adaptive $(b,--budget) N) also \
+          prints the aligned plan diff against exact DP.")
+    Term.(const run $ shape_arg $ n_arg $ splits_arg $ algo_arg $ model_arg
+          $ budget_arg $ k_arg $ json $ dot $ out $ sample $ max_subsets
+          $ max_champions)
+
+(* ------------------------------------------------------------------ *)
+(* why: cost a forced join order against the recorded memo             *)
+
+let why_cmd =
+  let run shape n splits model force_order =
+    match graph_of_shape shape n splits with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | Ok g -> (
+        match Inspect.Why.analyze ~model g force_order with
+        | Error msg ->
+            Format.eprintf "error: %s@." msg;
+            1
+        | Ok rep ->
+            Format.printf "%a" Inspect.Why.pp rep;
+            0)
+  in
+  let force_order =
+    Arg.(required & opt (some string) None
+         & info [ "force-order" ] ~docv:"ORDER"
+             ~doc:"Join order to cost: a parenthesized binary tree over \
+                   relation names, e.g. \"((R0 R1) (R2 R3))\"; a flat list \
+                   \"R0 R1 R2\" is read left-deep.  Every relation must \
+                   appear exactly once.")
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Explain why the optimizer did not pick a given join order: build \
+          the forced order under the optimizer's own operator and costing \
+          rules, compare every subtree against the exhaustive DPhyp memo, \
+          name the first subset where the forced order diverges from the \
+          optimum, attribute the cost gap join by join, and print the \
+          aligned plan diff.")
+    Term.(const run $ shape_arg $ n_arg $ splits_arg $ model_arg $ force_order)
 
 (* ------------------------------------------------------------------ *)
 (* tpch: canned realistic join graphs                                  *)
@@ -917,7 +1061,8 @@ let main =
   Cmd.group info
     [
       optimize_cmd; explain_cmd; analyze_cmd; run_cmd; shape_cmd; graph_cmd;
-      cache_stats_cmd; stats_cmd; ccp_cmd; dot_cmd; trace_cmd; tpch_cmd;
+      cache_stats_cmd; stats_cmd; ccp_cmd; dot_cmd; trace_cmd; inspect_cmd;
+      why_cmd; tpch_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

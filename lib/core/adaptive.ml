@@ -40,6 +40,14 @@ let solve ?obs ?tel ?(model = Costing.Cost_model.c_out) ?budget
      [finally] so an attempt aborted by [Budget_exhausted] still
      reports what it cost before the exception unwinds. *)
   let tier_span tier (c : Counters.t) f =
+    (* Label every DP table the rung creates with its tier, so a
+       provenance recording of a ladder run can attribute each memo
+       decision to the rung that made it. *)
+    let f =
+      let body = f in
+      fun () ->
+        Plans.Dp_table.with_context ("tier:" ^ tier_name tier) body
+    in
     (* Per-tier latency histogram, recorded whether or not spans are
        being collected — the telemetry registry is the always-on
        path. *)
@@ -124,3 +132,11 @@ let solve ?obs ?tel ?(model = Costing.Cost_model.c_out) ?budget
         record Exact false exact_counters;
         descend ks
   end
+
+(* The quality price of graceful degradation, as an aligned plan diff
+   (see Partition.loss_report for the exact-baseline caveats). *)
+let loss_report ?model g (o : outcome) =
+  match (o.tier, o.plan) with
+  | Exact, _ | _, None -> None
+  | tier, Some plan ->
+      Partition.loss_report ?model ~labels:(tier_name tier, "exact") g plan

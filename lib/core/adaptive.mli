@@ -74,3 +74,16 @@ val solve :
     exact rung and start at {!Partitioned} instead.  Schedule entries
     with [k >= n] or [k < 2] are skipped.  Never raises
     {!Counters.Budget_exhausted}. *)
+
+val loss_report :
+  ?model:Costing.Cost_model.t ->
+  Hypergraph.Graph.t ->
+  outcome ->
+  string option
+(** What did graceful degradation cost?  When the ladder fell back
+    (winning tier other than {!Exact}) and the graph is small enough
+    to solve exactly, re-solves with unbudgeted DPhyp and renders the
+    aligned {!Plans.Plan_diff} of the tier's plan against the exact
+    optimum, columns labeled with {!tier_name} / ["exact"].  [None]
+    when the ladder already won exactly, produced no plan, or no
+    exact baseline is computable. *)

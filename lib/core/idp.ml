@@ -160,14 +160,20 @@ let solve ?obs ?(model = Costing.Cost_model.c_out)
     in
     incr round_no;
     match
-      Obs.Span.with_opt obs "idp-round"
-        ~attrs:
-          [
-            ("round", Obs.Span.Int !round_no);
-            ("nodes", Obs.Span.Int n);
-            ("k", Obs.Span.Int kr);
-          ]
-        step
+      Plans.Dp_table.with_context
+        (let l = Printf.sprintf "idp:round:%d" !round_no in
+         match Plans.Dp_table.current_context () with
+         | "" -> l
+         | outer -> outer ^ "/" ^ l)
+        (fun () ->
+          Obs.Span.with_opt obs "idp-round"
+            ~attrs:
+              [
+                ("round", Obs.Span.Int !round_no);
+                ("nodes", Obs.Span.Int n);
+                ("k", Obs.Span.Int kr);
+              ]
+            step)
     with
     | `Done plan -> plan
     | `Widen kr' -> round g state kr'

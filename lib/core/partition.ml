@@ -134,9 +134,15 @@ let solve ?obs ?(model = Costing.Cost_model.c_out)
           Dphyp.solve_subset ~model ~leaf ~counters ~subset:bcur !cur
         in
         let _dp, plan =
-          Obs.Span.with_opt obs "partition:block"
-            ~attrs:[ ("block_nodes", Obs.Span.Int (Ns.cardinal bcur)) ]
-            solve_block
+          Plans.Dp_table.with_context
+            (let l = Printf.sprintf "partition:block:R%d" (Ns.min_elt block) in
+             match Plans.Dp_table.current_context () with
+             | "" -> l
+             | outer -> outer ^ "/" ^ l)
+            (fun () ->
+              Obs.Span.with_opt obs "partition:block"
+                ~attrs:[ ("block_nodes", Obs.Span.Int (Ns.cardinal bcur)) ]
+                solve_block)
         in
         match plan with
         | None ->
@@ -174,3 +180,18 @@ let solve ?obs ?(model = Costing.Cost_model.c_out)
   | None ->
       if !contracted = 0 then Idp.solve ?obs ~model ~counters ~k g0
       else Idp.solve ?obs ~model ~counters ~init:(!emap, !base) ~k !cur
+
+(* Where did the stitches lose cost against exhaustive DP?  Only
+   answerable when the graph is small enough to solve exactly — which
+   is precisely the regime the tests exercise the partitioned tier in.
+   The exact re-solve is deliberately unbudgeted: this is a
+   diagnostic, not a planning path. *)
+let loss_report ?(model = Costing.Cost_model.c_out)
+    ?(labels = ("partitioned", "exact")) g plan =
+  if G.num_nodes g > Ns.small_capacity then None
+  else
+    match Dphyp.solve ~model g with
+    | None -> None
+    | Some exact ->
+        let names i = (G.relation g i).G.name in
+        Some (Plans.Plan_diff.report ~names ~labels plan exact)

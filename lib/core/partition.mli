@@ -48,3 +48,19 @@ val solve :
     {!Counters.Budget_exhausted} when its budget is spent.  [None] is
     reserved for graphs IDP itself cannot plan (disconnected inputs).
     @raise Invalid_argument if [block_size < 2]. *)
+
+val loss_report :
+  ?model:Costing.Cost_model.t ->
+  ?labels:string * string ->
+  Hypergraph.Graph.t ->
+  Plans.Plan.t ->
+  string option
+(** Where did the stitches lose cost against exhaustive DP?  Aligns
+    [plan] with a fresh (unbudgeted) exact DPhyp solve via
+    {!Plans.Plan_diff} and renders the divergent subtrees; [labels]
+    names the two columns (default ["partitioned"]/["exact"]).
+    [None] when the graph is wider than
+    {!Nodeset.Node_set.small_capacity} (no exact baseline is
+    computable — the very regime this tier exists for) or
+    disconnected.  A diagnostic for tests and [joinopt inspect], not
+    a planning path. *)

@@ -34,20 +34,37 @@ let budget_error =
   "work budget exhausted before a plan was found (use the adaptive algorithm \
    for graceful degradation)"
 
+(* Top-3 costliest memo subsets of a recorded run, with relation
+   names resolved — the pre-rendered shape the profile and the flight
+   recorder carry. *)
+let prov_summary graph prov =
+  let names i = (Hypergraph.Graph.relation graph i).Hypergraph.Graph.name in
+  Inspect.Provenance.top_costly_labeled ~names prov 3
+
 (* Intra-query parallelism: [jobs > 1] runs the enumeration itself on
    a domain pool — only DPhyp has a parallel decomposition (see
    Parallel.Par_dphyp); every other algorithm refuses rather than
    silently running sequentially. *)
-let run_algo ?obs ?tel ?model ?filter ?budget ?k ~jobs algo graph =
-  if jobs <= 1 then
-    Core.Optimizer.run ?obs ?tel ?model ?filter ?budget ?k algo graph
-  else if algo <> Core.Optimizer.Dphyp then
-    invalid_arg
-      (Printf.sprintf "jobs > 1 requires the dphyp algorithm (got %s)"
-         (Core.Optimizer.name algo))
-  else
-    Parallel.Pool.with_pool ~jobs (fun pool ->
-        Parallel.Par_dphyp.run ?obs ?tel ?model ?filter ?budget ~pool graph)
+let run_algo ?obs ?tel ?model ?filter ?budget ?k ?inspect ~jobs algo graph =
+  let go () =
+    if jobs <= 1 then
+      Core.Optimizer.run ?obs ?tel ?model ?filter ?budget ?k algo graph
+    else if algo <> Core.Optimizer.Dphyp then
+      invalid_arg
+        (Printf.sprintf "jobs > 1 requires the dphyp algorithm (got %s)"
+           (Core.Optimizer.name algo))
+    else
+      Parallel.Pool.with_pool ~jobs (fun pool ->
+          Parallel.Par_dphyp.run ?obs ?tel ?model ?filter ?budget ~pool graph)
+  in
+  match inspect with
+  | None -> go ()
+  | Some prov ->
+      (* The recorder attaches through ambient (domain-wide) state;
+         a parallel enumeration would race on it. *)
+      if jobs > 1 then
+        invalid_arg "provenance recording (--inspect) requires jobs = 1";
+      Inspect.Provenance.with_recording prov go
 
 (* The exact cache key: every input that can change the returned plan
    bytes.  The serialized graph carries node order, cardinalities,
@@ -78,11 +95,17 @@ let exact_key ?model ?budget ?k algo graph =
 (* Returns the optimizer result plus the plan-cache outcome name, so
    the telemetry layer can label series and recorder entries without
    re-deriving it from span attributes. *)
-let run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k ~jobs algo graph =
+let run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k ?inspect ~jobs algo
+    graph =
   match cache with
-  | None -> (run_algo ?obs ?tel ?model ?filter ?budget ?k ~jobs algo graph, None)
-  | Some _ when filter <> None ->
-      (run_algo ?obs ?tel ?model ?filter ?budget ?k ~jobs algo graph, None)
+  | None ->
+      (run_algo ?obs ?tel ?model ?filter ?budget ?k ?inspect ~jobs algo graph,
+       None)
+  | Some _ when filter <> None || inspect <> None ->
+      (* a provenance-recorded request must actually enumerate — a
+         cache hit has no decision trail to record *)
+      (run_algo ?obs ?tel ?model ?filter ?budget ?k ?inspect ~jobs algo graph,
+       None)
   | Some c ->
       Obs.Span.with_opt obs "cache" (fun sp ->
           let key =
@@ -118,7 +141,7 @@ let phase_name (s : Obs.Sink.span) =
    ok/error), the per-phase histograms harvested from the request's
    depth-0 spans, and a flight-recorder entry (which keeps the whole
    span tree when the request was slow). *)
-let tel_record tel ~obs ~t0 ~(gc0 : Gc.stat) ~algo ~graph outcome =
+let tel_record tel ~obs ~t0 ~(gc0 : Gc.stat) ~algo ~graph ?inspect outcome =
   let wall_s = Obs.Span.now () -. t0 in
   let gc1 = Gc.quick_stat () in
   let algo_name = Core.Optimizer.name algo in
@@ -147,13 +170,18 @@ let tel_record tel ~obs ~t0 ~(gc0 : Gc.stat) ~algo ~graph outcome =
           ~labels:[ ("phase", phase_name s) ]
           "joinopt_phase_latency_seconds" s.Obs.Sink.dur_s)
     spans;
+  let provenance =
+    match inspect with
+    | None -> []
+    | Some prov -> prov_summary graph prov
+  in
   Obs.Recorder.record (Obs.Export.recorder tel)
     ~fingerprint:(Cache.Fingerprint.to_hex (Cache.Fingerprint.of_graph graph))
     ~relations:(Hypergraph.Graph.num_nodes graph)
     ~algo:algo_name ?tier ?cache:cache_outcome ~pairs ~wall_s
     ~minor_words:(gc1.Gc.minor_words -. gc0.Gc.minor_words)
     ~major_words:(gc1.Gc.major_words -. gc0.Gc.major_words)
-    ~spans ()
+    ~provenance ~spans ()
 
 let export_cache_stats tel cache =
   let s = Cache.Plan_cache.stats cache in
@@ -179,12 +207,17 @@ let export_cache_stats tel cache =
         "joinopt_plan_cache_entries" (float_of_int n))
     (Cache.Plan_cache.shard_entries cache)
 
-let build_profile ?cache obs r =
+let build_profile ?cache ?inspect ~graph obs r =
   Option.map
     (fun ctx ->
       let p = Core.Optimizer.profile ctx r in
-      match cache with
-      | Some c -> Obs.Metrics.with_cache p (cache_metrics c)
+      let p =
+        match cache with
+        | Some c -> Obs.Metrics.with_cache p (cache_metrics c)
+        | None -> p
+      in
+      match inspect with
+      | Some prov -> Obs.Metrics.with_provenance p (prov_summary graph prov)
       | None -> p)
     obs
 
@@ -197,7 +230,7 @@ let private_ctx obs tel =
   | None, Some _ -> Some (Obs.Span.create ())
   | _ -> obs
 
-let optimize_tree ?obs ?tel ?cache ?(mode = Tes_literal)
+let optimize_tree ?obs ?tel ?cache ?inspect ?(mode = Tes_literal)
     ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k ?(jobs = 1) ?cards ?sels
     tree =
   let obs_user = obs in
@@ -250,12 +283,13 @@ let optimize_tree ?obs ?tel ?cache ?(mode = Tes_literal)
       | _ -> (
           let finish outcome =
             match tel with
-            | Some tel -> tel_record tel ~obs ~t0 ~gc0 ~algo ~graph outcome
+            | Some tel ->
+                tel_record tel ~obs ~t0 ~gc0 ~algo ~graph ?inspect outcome
             | None -> ()
           in
           match
-            run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k ~jobs algo
-              graph
+            run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k ?inspect
+              ~jobs algo graph
           with
           | ({ plan = Some plan; counters; tier; _ } as r), outc ->
               finish (Ok (r, outc));
@@ -266,7 +300,7 @@ let optimize_tree ?obs ?tel ?cache ?(mode = Tes_literal)
                   plan;
                   counters;
                   tier;
-                  profile = build_profile ?cache obs_user r;
+                  profile = build_profile ?cache ?inspect ~graph obs_user r;
                 }
           | ({ plan = None; _ } as r), outc ->
               finish (Ok (r, outc));
@@ -278,26 +312,28 @@ let optimize_tree ?obs ?tel ?cache ?(mode = Tes_literal)
               finish (Error ());
               Error budget_error))
 
-let optimize_sql ?obs ?tel ?cache ?mode ?algo ?model ?budget ?k ?jobs ?cards
-    ?sels sql =
+let optimize_sql ?obs ?tel ?cache ?inspect ?mode ?algo ?model ?budget ?k ?jobs
+    ?cards ?sels sql =
   match Obs.Span.with_opt obs "parse" (fun _ -> Sqlfront.Binder.parse_and_bind sql) with
   | Error m -> Error m
   | Ok bound ->
-      optimize_tree ?obs ?tel ?cache ?mode ?algo ?model ?budget ?k ?jobs
-        ?cards ?sels bound.tree
+      optimize_tree ?obs ?tel ?cache ?inspect ?mode ?algo ?model ?budget ?k
+        ?jobs ?cards ?sels bound.tree
 
-let optimize_graph ?obs ?tel ?cache ?(algo = Core.Optimizer.Dphyp) ?model
-    ?budget ?k ?(jobs = 1) graph =
+let optimize_graph ?obs ?tel ?cache ?inspect ?(algo = Core.Optimizer.Dphyp)
+    ?model ?budget ?k ?(jobs = 1) graph =
   let obs_user = obs in
   let obs = private_ctx obs tel in
   let t0 = Obs.Span.now () in
   let gc0 = Gc.quick_stat () in
   let finish outcome =
     match tel with
-    | Some tel -> tel_record tel ~obs ~t0 ~gc0 ~algo ~graph outcome
+    | Some tel -> tel_record tel ~obs ~t0 ~gc0 ~algo ~graph ?inspect outcome
     | None -> ()
   in
-  match run_cached ?obs ?tel ?cache ?model ?budget ?k ~jobs algo graph with
+  match
+    run_cached ?obs ?tel ?cache ?model ?budget ?k ?inspect ~jobs algo graph
+  with
   | ({ plan = Some plan; counters; tier; _ } as r), outc ->
       let tree =
         Obs.Span.with_opt obs "plan-emit" (fun _ ->
@@ -311,7 +347,7 @@ let optimize_graph ?obs ?tel ?cache ?(algo = Core.Optimizer.Dphyp) ?model
           plan;
           counters;
           tier;
-          profile = build_profile ?cache obs_user r;
+          profile = build_profile ?cache ?inspect ~graph obs_user r;
         }
   | ({ plan = None; _ } as r), outc ->
       finish (Ok (r, outc));

@@ -68,6 +68,7 @@ val optimize_tree :
   ?obs:Obs.Span.ctx ->
   ?tel:Obs.Export.t ->
   ?cache:plan_cache ->
+  ?inspect:Inspect.Provenance.t ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
@@ -102,6 +103,17 @@ val optimize_tree :
     — they produce the key — so a hit costs one fingerprint plus one
     serialization instead of an enumeration.
 
+    [?inspect] records search-space provenance into the given
+    recorder: every DP table the enumeration creates hooks itself
+    ({!Inspect.Provenance.with_recording}), so after the call the
+    recorder holds the champion history and pruning statistics behind
+    [joinopt inspect] / [joinopt why].  A recorded request bypasses
+    [?cache] (a cache hit has no decision trail) and requires
+    [jobs = 1] — the hook is ambient, single-domain state — yielding
+    [Error] otherwise.  The result's [profile] and the [?tel] flight
+    recorder gain the top-3 costliest memo subsets as a provenance
+    summary.
+
     [?tel] is always-on serving telemetry, independent of [?obs]:
     every request records into the
     [joinopt_optimize_latency_seconds{algo,cache,result}] histogram,
@@ -118,6 +130,7 @@ val optimize_sql :
   ?obs:Obs.Span.ctx ->
   ?tel:Obs.Export.t ->
   ?cache:plan_cache ->
+  ?inspect:Inspect.Provenance.t ->
   ?mode:conflict_mode ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
@@ -134,6 +147,7 @@ val optimize_graph :
   ?obs:Obs.Span.ctx ->
   ?tel:Obs.Export.t ->
   ?cache:plan_cache ->
+  ?inspect:Inspect.Provenance.t ->
   ?algo:Core.Optimizer.algorithm ->
   ?model:Costing.Cost_model.t ->
   ?budget:int ->

@@ -1,0 +1,54 @@
+(** "Why this plan": cost a forced join order against the memo.
+
+    Backs [joinopt why --force-order].  The forced order — a
+    parenthesized binary tree over relation names, e.g.
+    ["((A B) C)"]; a flat list is read left-deep — is built through
+    {!Core.Emit.candidates} (same operator recovery, dependent
+    switching and pending-predicate rules as the enumerators) and
+    compared subtree-by-subtree against the full DPhyp memo: every
+    forced subtree is charged its gap over the table's optimum for
+    the same relation set, the first postorder subtree with a
+    positive gap is named the {e first divergence}, and local
+    attribution isolates what each join decision added on top of the
+    mistakes it inherited.  The optimizer run is provenance-recorded,
+    so the report can also say how contested each slot was. *)
+
+type order = Leaf of int | Node of order * order
+
+type gap = {
+  set : Nodeset.Node_set.t;
+  forced_cost : float;
+  best_cost : float;  (** DP-table optimum for the same set *)
+  total : float;  (** forced − best for this subtree *)
+  local : float;  (** total minus the children's totals *)
+}
+
+type report = {
+  graph : Hypergraph.Graph.t;
+  forced : Plans.Plan.t;
+  optimal : Plans.Plan.t;
+  gaps : gap list;  (** forced-tree joins, postorder *)
+  first_divergence : gap option;  (** [None] = forced order is optimal *)
+  diff : Plans.Plan_diff.t;  (** forced vs optimal, aligned by subtree *)
+  provenance : Provenance.t;  (** the recorded memo behind the numbers *)
+}
+
+val parse : Hypergraph.Graph.t -> string -> (order, string) result
+(** Errors mention the offending token: unknown/duplicate relation,
+    unbalanced parentheses, relations not covered. *)
+
+val analyze :
+  ?model:Costing.Cost_model.t ->
+  Hypergraph.Graph.t ->
+  string ->
+  (report, string) result
+(** Parse, solve (recorded), build the forced plan, attribute the
+    gap.  Errors also cover disconnected graphs and forced pairs with
+    no connecting predicate (cross products are not enumerated). *)
+
+val pp : Format.formatter -> report -> unit
+(** Deterministic human report: both orders with costs, the total
+    gap, the first divergence, the per-subtree attribution table and
+    the aligned {!Plans.Plan_diff}. *)
+
+val report : report -> string

@@ -1,0 +1,18 @@
+(* Crash-safe document export: write to a temporary file in the same
+   directory, then rename over the destination.  Sys.rename is atomic
+   within a filesystem, so a scraper (Prometheus reading an exported
+   snapshot, a dashboard tailing a JSON report) can never observe a
+   truncated document — it sees either the old file or the complete
+   new one. *)
+
+let write path contents =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (match output_string oc contents with
+  | () -> ()
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  close_out oc;
+  Sys.rename tmp path

@@ -1,0 +1,13 @@
+(** Crash-safe file export: temp-file + rename.
+
+    Telemetry exports are scraped and tailed by other processes; a
+    run that crashes (or is killed) mid-write must not leave a
+    truncated document where a complete one used to be.  [write]
+    stages the contents in a [.tmp.<pid>] sibling and renames it over
+    the destination only after a successful close, so observers see
+    either the previous file or the whole new one, never a prefix. *)
+
+val write : string -> string -> unit
+(** [write path contents] — atomically replace [path] with
+    [contents].  On exception the temporary file is removed and the
+    destination is untouched. *)

@@ -36,10 +36,11 @@ type profile = {
   winning_tier : string option;
   quality : quality option;
   cache : cache_stats option;
+  provenance : (string * float) list;
 }
 
 let make ?counters ?(dp_entries = 0) ?(tiers = []) ?winning_tier ?quality
-    ?cache ~total_s spans =
+    ?cache ?(provenance = []) ~total_s spans =
   (* Sort with a total tie-break (start, depth, name): concurrent
      spans can share a start timestamp, and golden/--stable diffs need
      byte-stable ordering however the scheduler interleaved them. *)
@@ -54,11 +55,16 @@ let make ?counters ?(dp_entries = 0) ?(tiers = []) ?winning_tier ?quality
         | c -> c)
       spans
   in
-  { spans; total_s; counters; dp_entries; tiers; winning_tier; quality; cache }
+  {
+    spans; total_s; counters; dp_entries; tiers; winning_tier; quality; cache;
+    provenance;
+  }
 
 let with_quality p q = { p with quality = Some q }
 
 let with_cache p c = { p with cache = Some c }
+
+let with_provenance p prov = { p with provenance = prov }
 
 (* ---------- JSON (obs_profile/v1) ---------- *)
 
@@ -114,6 +120,13 @@ let to_json ?(name = "run") p =
     (match p.quality with Some q -> quality_json q | None -> "null");
   Printf.bprintf b "      \"cache\": %s,\n"
     (match p.cache with Some c -> cache_json c | None -> "null");
+  Printf.bprintf b "      \"provenance\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun (label, cost) ->
+            Printf.sprintf "{\"subset\": %s, \"cost\": %.4f}"
+              (Json_util.quote label) cost)
+          p.provenance));
   Buffer.add_string b "      \"spans\": [\n";
   Buffer.add_string b
     (String.concat ",\n"
@@ -203,4 +216,12 @@ let pp_table ppf p =
           Export.kv_ratio "entries" c.cache_entries c.cache_capacity;
         ]
   | None -> ());
+  (match p.provenance with
+  | [] -> ()
+  | prov ->
+      Format.fprintf ppf "costliest subsets: %a@." Export.pp_kvs
+        (List.map
+           (fun (label, cost) ->
+             Export.kv label (Printf.sprintf "%.4g" cost))
+           prov));
   Format.fprintf ppf "dp entries: %d@." p.dp_entries

@@ -20,6 +20,7 @@ type request = {
   minor_words : float;
   major_words : float;
   spans : Sink.span list;
+  provenance : (string * float) list;
 }
 
 type t = {
@@ -45,8 +46,9 @@ let capacity t = Array.length t.ring
 let slow_threshold_s t = t.slow_s
 
 let record t ~fingerprint ~relations ~algo ?tier ?cache ~pairs ~wall_s
-    ~minor_words ~major_words ?(spans = []) () =
+    ~minor_words ~major_words ?(spans = []) ?(provenance = []) () =
   Mutex.lock t.lock;
+  let slow = wall_s >= t.slow_s in
   let r =
     {
       seq = t.total;
@@ -59,8 +61,10 @@ let record t ~fingerprint ~relations ~algo ?tier ?cache ~pairs ~wall_s
       wall_s;
       minor_words;
       major_words;
-      (* promotion: only slow requests keep their span tree *)
-      spans = (if wall_s >= t.slow_s then spans else []);
+      (* promotion: only slow requests keep their span tree and their
+         provenance summary — fast requests stay a dozen words *)
+      spans = (if slow then spans else []);
+      provenance = (if slow then provenance else []);
     }
   in
   t.ring.(t.next) <- Some r;

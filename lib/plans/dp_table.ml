@@ -25,11 +25,55 @@ type store =
   | Hashed of (int, Plan.t) Hashtbl.t
   | Wide of Plan.t NsTbl.t
 
+type event = Installed | Displaced of Plan.t | Rejected of Plan.t
+
+type hook = Plan.t -> event -> unit
+
 type t = {
   store : store;
   mutable entries : int;
   by_size : Ns.t list array;  (* index [k]: sets of cardinality k, insertion order *)
+  mutable hook : hook option;
+      (* provenance observer; [None] (the default) keeps [update] on
+         its historical fast path — one extra load-and-branch per
+         outcome, no allocation *)
 }
+
+(* Ambient provenance wiring.  The inspect layer installs a creation
+   observer around a whole optimizer run so that every table the run
+   builds (the main memo, per-block tables, IDP round tables) attaches
+   its own update hook without any algorithm threading a parameter;
+   [with_context] lets the algorithm layers label which table is
+   active (tier, block, round) for the same observer.  Plain refs:
+   provenance recording is a single-domain affair (the parallel
+   enumerator refuses it), so no synchronization is needed. *)
+
+let create_observer : (t -> unit) option ref = ref None
+
+let context_label = ref ""
+
+let with_create_observer f body =
+  let saved = !create_observer in
+  create_observer := Some f;
+  Fun.protect ~finally:(fun () -> create_observer := saved) body
+
+let with_context label body =
+  let saved = !context_label in
+  context_label := label;
+  Fun.protect ~finally:(fun () -> context_label := saved) body
+
+let current_context () = !context_label
+
+let set_hook t h = t.hook <- h
+
+let[@inline] notify_install t p =
+  match t.hook with None -> () | Some f -> f p Installed
+
+let[@inline] notify_displace t p old =
+  match t.hook with None -> () | Some f -> f p (Displaced old)
+
+let[@inline] notify_reject t p old =
+  match t.hook with None -> () | Some f -> f p (Rejected old)
 
 let create ?hint n =
   let cap = match hint with None -> 1024 | Some h -> max 16 h in
@@ -43,7 +87,9 @@ let create ?hint n =
       Hashed (Hashtbl.create cap)
     else Wide (NsTbl.create cap)
   in
-  { store; entries = 0; by_size = Array.make (n + 1) [] }
+  let t = { store; entries = 0; by_size = Array.make (n + 1) []; hook = None } in
+  (match !create_observer with None -> () | Some f -> f t);
+  t
 
 let create_for g =
   let n = Hypergraph.Graph.num_nodes g in
@@ -85,13 +131,18 @@ let update t (p : Plan.t) =
           a.(key) <- Some p;
           t.entries <- t.entries + 1;
           register_size t p.set;
+          notify_install t p;
           true
       | Some old ->
           if p.cost < old.cost then begin
             a.(key) <- Some p;
+            notify_displace t p old;
             true
           end
-          else false)
+          else begin
+            notify_reject t p old;
+            false
+          end)
   | Hashed h -> (
       let key = Ns.to_int p.set in
       match Hashtbl.find_opt h key with
@@ -99,26 +150,36 @@ let update t (p : Plan.t) =
           Hashtbl.replace h key p;
           t.entries <- t.entries + 1;
           register_size t p.set;
+          notify_install t p;
           true
       | Some old ->
           if p.cost < old.cost then begin
             Hashtbl.replace h key p;
+            notify_displace t p old;
             true
           end
-          else false)
+          else begin
+            notify_reject t p old;
+            false
+          end)
   | Wide h -> (
       match NsTbl.find_opt h p.set with
       | None ->
           NsTbl.replace h p.set p;
           t.entries <- t.entries + 1;
           register_size t p.set;
+          notify_install t p;
           true
       | Some old ->
           if p.cost < old.cost then begin
             NsTbl.replace h p.set p;
+            notify_displace t p old;
             true
           end
-          else false)
+          else begin
+            notify_reject t p old;
+            false
+          end)
 
 let force t (p : Plan.t) =
   match t.store with

@@ -14,6 +14,43 @@
 
 type t
 
+type event =
+  | Installed  (** first plan seen for its node set *)
+  | Displaced of Plan.t
+      (** strictly cheaper than the previous champion (the argument) *)
+  | Rejected of Plan.t
+      (** not cheaper than the incumbent (the argument); table
+          unchanged *)
+(** Outcome of one {!update}, as seen by a provenance {!hook}. *)
+
+type hook = Plan.t -> event -> unit
+(** Update observer: called with the candidate plan and what happened
+    to it.  {!force} (leaf initialization) is deliberately unhooked —
+    champion history is about csg-cmp-pair decisions. *)
+
+val set_hook : t -> hook option -> unit
+(** Attach (or clear) the table's update observer.  With no hook —
+    the default — [update] costs one extra load-and-branch per
+    outcome and allocates nothing. *)
+
+val with_create_observer : (t -> unit) -> (unit -> 'a) -> 'a
+(** [with_create_observer f body] runs [body] with [f] invoked on
+    every table {!create}d during it (the previous observer is
+    restored on exit).  This is how a provenance recorder attaches to
+    the tables an optimizer run builds internally (per-block, per-IDP
+    round) without any algorithm threading a parameter.  Ambient,
+    single-domain only — the parallel enumerator refuses to run under
+    it. *)
+
+val with_context : string -> (unit -> 'a) -> 'a
+(** [with_context label body] sets the ambient table-context label for
+    the duration of [body] (restored on exit).  Algorithm layers use
+    it to tell a provenance observer {e which} table is being filled:
+    ["tier:exact"], ["partition:block:R3"], ["idp:round:2"], ... *)
+
+val current_context : unit -> string
+(** The ambient context label ([""] outside any {!with_context}). *)
+
 val create : ?hint:int -> int -> t
 (** [create n] — table for an [n]-relation query.  [?hint] pre-sizes
     the hash-table backing with the expected number of entries

@@ -1,5 +1,10 @@
 module G = Hypergraph.Graph
 
+(* All label text that can contain user-controlled characters
+   (relation names from SQL, rendered sub-plans) goes through the
+   shared DOT escaper — see Hypergraph.Dot.escape_label. *)
+let esc = Hypergraph.Dot.escape_label
+
 let to_dot ?(name = "plan") g plan =
   let buf = Buffer.create 512 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -11,15 +16,16 @@ let to_dot ?(name = "plan") g plan =
     (match p.tree with
     | Plan.Scan i ->
         pr "  n%d [shape=ellipse, label=\"%s\\ncard=%.0f\"];\n" id
-          (G.relation g i).G.name p.card
+          (esc (G.relation g i).G.name)
+          p.card
     | Plan.Compound c ->
         pr "  n%d [shape=ellipse, label=\"%s\\ncard=%.0f cost=%.3g\"];\n" id
-          (String.concat "" (String.split_on_char '"' (Plan.to_string c.sub)))
+          (esc (Plan.to_string c.sub))
           p.card p.cost
     | Plan.Join j ->
         pr "  n%d [shape=box, label=\"%s\\ncard=%.3g cost=%.3g\\nedges=[%s]\"];\n"
           id
-          (Relalg.Operator.symbol j.op)
+          (esc (Relalg.Operator.symbol j.op))
           p.card p.cost
           (String.concat "," (List.map string_of_int j.edge_ids));
         let l = go j.left in
@@ -33,7 +39,5 @@ let to_dot ?(name = "plan") g plan =
   Buffer.contents buf
 
 let write_file path g plan =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_dot g plan))
+  Hypergraph.Dot.write_atomically path (fun oc ->
+      output_string oc (to_dot g plan))

@@ -52,12 +52,28 @@ let suite_graphs () =
 
 let exact_algos = [ Opt.Dphyp; Opt.Dpsize; Opt.Dpsub; Opt.Topdown; Opt.Tdpart ]
 
+(* On disagreement, fail with the aligned structural diff of the two
+   plans — which shared subtree first went a different way is far more
+   actionable than two scalar costs. *)
 let agree_on name g algos =
-  let reference = cost_of name (Opt.run Opt.Dphyp g) in
+  let ref_r = Opt.run Opt.Dphyp g in
+  let reference = cost_of name ref_r in
   List.for_all
     (fun algo ->
-      let c = cost_of (name ^ "/" ^ Opt.name algo) (Opt.run algo g) in
-      close reference c)
+      let r = Opt.run algo g in
+      let c = cost_of (name ^ "/" ^ Opt.name algo) r in
+      close reference c
+      ||
+      match (ref_r.plan, r.plan) with
+      | Some p1, Some p2 ->
+          let names i = (G.relation g i).G.name in
+          QCheck.Test.fail_report
+            (Printf.sprintf "%s: dphyp cost %.6g vs %s cost %.6g\n%s" name
+               reference (Opt.name algo) c
+               (Plans.Plan_diff.report ~names
+                  ~labels:("dphyp", Opt.name algo)
+                  p1 p2))
+      | _ -> false)
     algos
 
 let prop_exact_agree_simple =

@@ -554,6 +554,29 @@ let test_dot () =
   check "hyperedge box present" true (contains "he4" dot);
   check "all relations present" true (contains "R6" dot)
 
+let test_dot_hostile_names () =
+  let g =
+    Hypergraph.Graph.make
+      [|
+        Hypergraph.Graph.base_rel ~card:10.0 "bad\"name";
+        Hypergraph.Graph.base_rel ~card:20.0 "worse\\one\n";
+      |]
+      [| Hypergraph.Hyperedge.simple ~sel:0.5 ~id:0 0 1 |]
+  in
+  let dot = Hypergraph.Dot.to_dot g in
+  let contains needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "quote escaped" true (contains "bad\\\"name" dot);
+  check "backslash escaped" true (contains "worse\\\\one" dot);
+  check "newline escaped" true (contains "\\n" dot);
+  check "raw quoted name absent" true (not (contains "\"bad\"name\"" dot));
+  (* the shared escaper leaves benign names untouched *)
+  check "benign name unchanged" true
+    (Hypergraph.Dot.escape_label "R0_ok" = "R0_ok")
+
 let () =
   Alcotest.run "hypergraph"
     [
@@ -603,7 +626,12 @@ let () =
           Alcotest.test_case "fig2 = 9" `Quick test_counts_fig2;
           Alcotest.test_case "join tree counts" `Quick test_join_tree_counts;
         ] );
-      ("dot", [ Alcotest.test_case "export" `Quick test_dot ]);
+      ( "dot",
+        [
+          Alcotest.test_case "export" `Quick test_dot;
+          Alcotest.test_case "hostile names escaped" `Quick
+            test_dot_hostile_names;
+        ] );
       ( "serialize",
         [
           Alcotest.test_case "roundtrip" `Quick test_serialize_roundtrip;

@@ -175,6 +175,137 @@ let test_pp () =
   in
   Alcotest.(check string) "pp" "(R0 leftouter R1)" (P.to_string j)
 
+(* ---------- Dp_table.update displacement model (qcheck) ---------- *)
+
+(* Reference model: a map subset -> cheapest cost seen.  update must
+   return true exactly when the candidate installs (absent) or
+   strictly improves, and the surviving entry must be the model's
+   minimum — across the flat (n <= 18), hashed and wide (n > 62)
+   stores alike. *)
+let qcheck_update_model =
+  QCheck.Test.make ~name:"dp_table update displacement model (all stores)"
+    ~count:60
+    QCheck.(list_of_size Gen.(0 -- 40) (pair (int_bound 6) (int_bound 999)))
+    (fun ops ->
+      List.for_all
+        (fun n_rel ->
+          let g =
+            G.make
+              (Array.init n_rel (fun i ->
+                   G.base_rel ~card:10.0 (Printf.sprintf "Q%d" i)))
+              [||]
+          in
+          let dp = Dp.create n_rel in
+          let model : (int, float) Hashtbl.t = Hashtbl.create 16 in
+          List.for_all
+            (fun (slot, c) ->
+              let i = slot mod (n_rel - 1) in
+              let sel = float_of_int (c + 1) /. 1000.0 in
+              let p =
+                P.join Costing.Cost_model.c_out ~op:Relalg.Operator.join
+                  ~edge_ids:[] ~sel (P.scan g i)
+                  (P.scan g (i + 1))
+              in
+              let expected =
+                match Hashtbl.find_opt model i with
+                | None -> true
+                | Some best -> p.P.cost < best
+              in
+              let got = Dp.update dp p in
+              if expected then Hashtbl.replace model i p.P.cost;
+              got = expected
+              && (Dp.best dp p.P.set).P.cost = Hashtbl.find model i
+              && Dp.size dp = Hashtbl.length model)
+            ops)
+        [ 3; 30; 80 ])
+
+(* ---------- structural plan diff ---------- *)
+
+module Pd = Plans.Plan_diff
+
+let diff_plans () =
+  let g = graph3 () in
+  let a = P.scan g 0 and b = P.scan g 1 and c = P.scan g 2 in
+  let jm = P.join Costing.Cost_model.c_out ~op:Relalg.Operator.join in
+  let p1 = jm ~edge_ids:[ 1 ] ~sel:0.5 (jm ~edge_ids:[ 0 ] ~sel:0.1 a b) c in
+  let p2 = jm ~edge_ids:[ 0 ] ~sel:0.1 a (jm ~edge_ids:[ 1 ] ~sel:0.5 b c) in
+  (p1, p2)
+
+let test_plan_diff_align () =
+  let p1, p2 = diff_plans () in
+  let d = Pd.diff p1 p2 in
+  (* {A},{B},{C} match; {A,B} left-only, {B,C} right-only; root differs
+     in cost between the two association orders *)
+  check_int "entries cover both trees" 6 (List.length d.Pd.entries);
+  let div = Pd.divergent d in
+  check "at least the two one-sided subtrees diverge" true
+    (List.length div >= 2);
+  (match Pd.first_divergence d with
+  | Some e ->
+      Alcotest.(check (list int)) "smallest divergence is {A,B}" [ 0; 1 ]
+        (Ns.to_list e.Pd.set);
+      check "left side present" true (e.Pd.left <> None);
+      check "right side absent" true (e.Pd.right = None)
+  | None -> Alcotest.fail "expected a divergence");
+  checkf "left total" p1.P.cost d.Pd.left_total;
+  checkf "right total" p2.P.cost d.Pd.right_total
+
+let test_plan_diff_identical () =
+  let p1, _ = diff_plans () in
+  let d = Pd.diff p1 p1 in
+  check "no divergence" true (Pd.first_divergence d = None);
+  check "all matching" true (List.for_all Pd.matching d.Pd.entries)
+
+let test_plan_diff_report () =
+  let p1, p2 = diff_plans () in
+  let s =
+    Pd.report ~names:(fun i -> [| "A"; "B"; "C" |].(i))
+      ~labels:("tier", "exact") p1 p2
+  in
+  let contains needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "labels shown" true (contains "tier" s && contains "exact" s);
+  check "named sets shown" true (contains "{A,B}" s);
+  check "totals line" true (contains "total cost" s)
+
+(* ---------- DOT escaping of hostile relation names ---------- *)
+
+let test_plan_dot_hostile_names () =
+  let hostile = "ev\"il\\name\nx" in
+  let g =
+    G.make
+      [| G.base_rel ~card:10.0 hostile; G.base_rel ~card:20.0 "ok" |]
+      [| He.simple ~pred:(Relalg.Predicate.eq_cols 0 "x" 1 "x") ~sel:0.1 ~id:0 0 1 |]
+  in
+  let p =
+    P.join Costing.Cost_model.c_out ~op:Relalg.Operator.join ~edge_ids:[ 0 ]
+      ~sel:0.1 (P.scan g 0) (P.scan g 1)
+  in
+  let dot = Plans.Plan_dot.to_dot g p in
+  (* the escaped label must be a well-formed quoted-string body: no
+     raw newline, and every quote hidden behind a backslash *)
+  let unescaped_quote s =
+    let n = String.length s in
+    let rec go i =
+      i < n && (if s.[i] = '\\' then go (i + 2) else s.[i] = '"' || go (i + 1))
+    in
+    go 0
+  in
+  let esc = Hypergraph.Dot.escape_label hostile in
+  check "no raw newline in escaped label" false (String.contains esc '\n');
+  check "no unescaped quote in escaped label" false (unescaped_quote esc);
+  let contains needle hay =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check "escaped quote present in dot" true (contains "ev\\\"il" dot);
+  check "escaped newline present in dot" true (contains "\\n" dot);
+  check "raw hostile name absent" true (not (contains hostile dot))
+
 let () =
   Alcotest.run "plans"
     [
@@ -201,5 +332,17 @@ let () =
         [
           Alcotest.test_case "update semantics" `Quick test_dp_table;
           Alcotest.test_case "size buckets" `Quick test_iter_size;
+          QCheck_alcotest.to_alcotest qcheck_update_model;
+        ] );
+      ( "plan_diff",
+        [
+          Alcotest.test_case "alignment" `Quick test_plan_diff_align;
+          Alcotest.test_case "identical plans" `Quick test_plan_diff_identical;
+          Alcotest.test_case "report rendering" `Quick test_plan_diff_report;
+        ] );
+      ( "plan_dot",
+        [
+          Alcotest.test_case "hostile names escaped" `Quick
+            test_plan_dot_hostile_names;
         ] );
     ]

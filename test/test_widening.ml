@@ -259,6 +259,15 @@ let prop_partition_blocks_invariants =
            (fun b -> Hypergraph.Connectivity.is_connected cache b)
            blocks)
 
+(* When the partitioned tier disagrees with exact DPhyp, a pair of
+   scalar costs is a dead end; fail with the aligned plan diff so the
+   first subtree the stitch got wrong is named directly. *)
+let fail_with_diff g ~labels p e msg =
+  let names i = (G.relation g i).G.name in
+  QCheck.Test.fail_report
+    (Printf.sprintf "%s\n%s" msg
+       (Plans.Plan_diff.report ~names ~labels p e))
+
 let prop_partition_single_block_exact =
   QCheck.Test.make
     ~name:"one-block partition cost = exact DPhyp cost" ~count:25
@@ -268,7 +277,12 @@ let prop_partition_single_block_exact =
       match
         (Core.Partition.solve ~block_size:n g, Core.Dphyp.solve g)
       with
-      | Some p, Some e -> Float.equal p.Plans.Plan.cost e.Plans.Plan.cost
+      | Some p, Some e ->
+          Float.equal p.Plans.Plan.cost e.Plans.Plan.cost
+          || fail_with_diff g ~labels:("partitioned", "exact") p e
+               (Printf.sprintf
+                  "one-block partition %.6g <> exact %.6g (seed %d, n %d)"
+                  p.Plans.Plan.cost e.Plans.Plan.cost seed n)
       | _ -> false)
 
 let prop_partition_bounded_by_exact =
@@ -283,7 +297,12 @@ let prop_partition_bounded_by_exact =
       | Some p, Some e ->
           (* >= up to float rounding: the stitch returns a valid join
              tree, and no join tree beats the exact optimum *)
-          p.Plans.Plan.cost >= e.Plans.Plan.cost *. (1. -. 1e-9)
+          (p.Plans.Plan.cost >= e.Plans.Plan.cost *. (1. -. 1e-9)
+          || fail_with_diff g ~labels:("partitioned", "exact") p e
+               (Printf.sprintf
+                  "partitioned plan beats the exact optimum: %.6g < %.6g \
+                   (seed %d, n %d)"
+                  p.Plans.Plan.cost e.Plans.Plan.cost seed n))
           && Pc.check g p = []
       | _ -> false)
 

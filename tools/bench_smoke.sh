@@ -129,7 +129,9 @@ grep -q '"p999_ms"' "$out/bench_telemetry.json"
 grep -q '"outcome": "hit"' "$out/bench_telemetry.json"
 grep -q '"slow_requests"' "$out/bench_telemetry.json"
 grep -q '"fingerprint"' "$out/bench_telemetry.json"
-if grep -qi 'nan' "$out/bench_telemetry.json"; then
+# -w: match NaN as a standalone token, not as a substring of a field
+# name (the slow-request records carry a "provenance" key)
+if grep -qiw 'nan' "$out/bench_telemetry.json"; then
   echo "telemetry snapshot contains NaN" >&2
   exit 1
 fi
@@ -147,7 +149,7 @@ grep -q 'joinopt_optimize_latency_seconds_count' "$out/stats.prom"
 grep -q 'joinopt_tier_latency_seconds_bucket{tier="' "$out/stats.prom"
 grep -q 'joinopt_plan_cache_requests_total{outcome="hit"}' "$out/stats.prom"
 grep -q 'joinopt_plan_cache_entries{shard="' "$out/stats.prom"
-if grep -qi 'nan' "$out/stats.prom"; then
+if grep -qiw 'nan' "$out/stats.prom"; then
   echo "prometheus exposition contains NaN" >&2
   exit 1
 fi
@@ -175,6 +177,30 @@ test "$tel_ok" -eq 1
 # and the committed pair: full-mode telemetry run vs plain baseline
 dune exec tools/bench_diff.exe -- --threshold 1.05 \
   results/BENCH_dphyp.json results/BENCH_dphyp_telemetry.json
+# Search-space inspection smoke point: the inspect subcommand must
+# emit an obs_inspect/v1 document with per-subset champion history
+# and complete aggregate stats, render the subset lattice as DOT, and
+# `why` must cost a forced order and name the first diverging subset.
+dune build bin/joinopt.exe
+dune exec bin/joinopt.exe -- inspect -s chain -n 5 --json \
+  > "$out/inspect.json"
+grep -q '"schema": "obs_inspect/v1"' "$out/inspect.json"
+grep -q '"champions"' "$out/inspect.json"
+grep -q '"candidates"' "$out/inspect.json"
+grep -q '"sampled_out"' "$out/inspect.json"
+dune exec bin/joinopt.exe -- inspect -s chain -n 5 --dot \
+  > "$out/inspect.dot"
+grep -q '^digraph ' "$out/inspect.dot"
+dune exec bin/joinopt.exe -- why -s chain -n 5 \
+  --force-order "T0 T1 T2 T3 T4" > "$out/why.txt"
+grep -q 'first divergence at {' "$out/why.txt"
+grep -q 'aligned diff' "$out/why.txt"
+# Provenance-hook overhead gate, committed pair: a full-mode fig6b
+# star-16 run with the hook compiled in but disabled
+# (BENCH_dphyp_inspect.json) must sit within 5% of the plain baseline
+# — recording off must cost nothing measurable.
+dune exec tools/bench_diff.exe -- --threshold 1.05 \
+  results/BENCH_dphyp.json results/BENCH_dphyp_inspect.json
 # Large-query smoke point: the quick 100+ relation graphs must plan
 # end-to-end on the partitioned tier (the emitter aborts on the first
 # Plan_check-invalid plan) and emit a bench_large/v1 document.
