@@ -32,6 +32,14 @@
                                               plus a FILE_cold.json companion
                                               for the bench_diff 50x warm-hit
                                               gate (see bench/cache_bench.ml)
+     dune exec bench/main.exe -- --dpconv-json FILE
+                                              subset-convolution DP (exact
+                                              C_max + certified C_out bound)
+                                              vs the DPhyp 3^n wall on dense
+                                              graphs, plus a FILE_dphyp.json
+                                              companion for the bench_diff
+                                              speedup gate
+                                              (see bench/dpconv_bench.ml)
      dune exec bench/main.exe -- --large-json FILE
                                               100-1000 relation graphs through
                                               the adaptive optimizer's
@@ -205,6 +213,11 @@ let () =
     | _ :: rest -> large_json rest
     | [] -> None
   in
+  let rec dpconv_json = function
+    | "--dpconv-json" :: path :: _ -> Some path
+    | _ :: rest -> dpconv_json rest
+    | [] -> None
+  in
   let rec telemetry_json = function
     | "--telemetry-json" :: path :: _ -> Some path
     | _ :: rest -> telemetry_json rest
@@ -215,7 +228,8 @@ let () =
     | "--csv" :: _ :: rest | "--json" :: _ :: rest
     | "--adaptive-json" :: _ :: rest | "--profile-json" :: _ :: rest
     | "--parallel-json" :: _ :: rest | "--cache-json" :: _ :: rest
-    | "--large-json" :: _ :: rest | "--telemetry-json" :: _ :: rest ->
+    | "--large-json" :: _ :: rest | "--telemetry-json" :: _ :: rest
+    | "--dpconv-json" :: _ :: rest ->
         positional rest
     | a :: rest when String.length a > 0 && a.[0] <> '-' -> a :: positional rest
     | _ :: rest -> positional rest
@@ -229,19 +243,24 @@ let () =
       parallel_json args,
       cache_json args,
       large_json args,
-      telemetry_json args )
+      telemetry_json args,
+      dpconv_json args )
   with
-  | Some path, _, _, _, _, _, _ -> Json_bench.run ~telemetry ~quick ~path names
-  | None, Some path, _, _, _, _, _ -> Adaptive_bench.write_json ~quick ~path ()
-  | None, None, Some path, _, _, _, _ ->
+  | Some path, _, _, _, _, _, _, _ ->
+      Json_bench.run ~telemetry ~quick ~path names
+  | None, Some path, _, _, _, _, _, _ ->
+      Adaptive_bench.write_json ~quick ~path ()
+  | None, None, Some path, _, _, _, _, _ ->
       Profile_bench.write_json ~quick ~path ()
-  | None, None, None, Some path, _, _, _ ->
+  | None, None, None, Some path, _, _, _, _ ->
       Parallel_bench.write_json ~quick ~path ()
-  | None, None, None, None, Some path, _, _ ->
+  | None, None, None, None, Some path, _, _, _ ->
       Cache_bench.write_json ~quick ~path ()
-  | None, None, None, None, None, Some path, _ ->
+  | None, None, None, None, None, Some path, _, _ ->
       Large_bench.write_json ~quick ~path ()
-  | None, None, None, None, None, None, Some path ->
+  | None, None, None, None, None, None, Some path, _ ->
       Telemetry_bench.write_json ~quick ~path ()
-  | None, None, None, None, None, None, None ->
+  | None, None, None, None, None, None, None, Some path ->
+      Dpconv_bench.write_json ~quick ~path ()
+  | None, None, None, None, None, None, None, None ->
       if bechamel then run_bechamel () else run_experiments ~quick names

@@ -31,10 +31,35 @@ let algo_conv =
 
 let algo_arg =
   let doc =
-    "Algorithm: dphyp, dpsize, dpsub, dpccp, goo, topdown, tdpart, idp or \
-     adaptive."
+    "Algorithm: dphyp, dpsize, dpsub, dpccp, goo, topdown, tdpart, idp, \
+     adaptive or dpconv (subset-convolution DP — dense simple inner-join \
+     graphs up to 18 relations; see --dpconv-objective)."
   in
   Arg.(value & opt algo_conv Core.Optimizer.Dphyp & info [ "a"; "algo" ] ~doc)
+
+let dpconv_objective_arg =
+  let objective_conv =
+    let parse s =
+      match Core.Dpconv.objective_of_name s with
+      | Some o -> Ok o
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown dpconv objective %S (expected cmax or cout-bound)"
+                  s))
+    in
+    Arg.conv
+      (parse, fun ppf o -> Format.pp_print_string ppf (Core.Dpconv.objective_name o))
+  in
+  let doc =
+    "Objective for --algo dpconv: cmax (exact bottleneck optimum — smallest \
+     achievable largest intermediate — in O(2^n) subset convolutions) or \
+     cout-bound (certified upper bound on the C_out optimum, with the \
+     witness plan)."
+  in
+  Arg.(value & opt objective_conv Core.Dpconv.Cmax
+       & info [ "dpconv-objective" ] ~doc)
 
 let budget_arg =
   let doc =
@@ -178,8 +203,9 @@ let timed f =
 (* [--jobs N] with N > 1 routes DPhyp through the parallel enumerator
    on a fresh N-domain pool; any other algorithm refuses (there is no
    parallel decomposition to fall back on). *)
-let run_algo ?obs ~model ?budget ~k ~jobs algo g =
-  if jobs <= 1 then Core.Optimizer.run ?obs ~model ?budget ~k algo g
+let run_algo ?obs ~model ?budget ~k ?dpconv_objective ~jobs algo g =
+  if jobs <= 1 then
+    Core.Optimizer.run ?obs ~model ?budget ~k ?dpconv_objective algo g
   else if algo <> Core.Optimizer.Dphyp then
     invalid_arg
       (Printf.sprintf "--jobs %d requires --algo dphyp (got %s)" jobs
@@ -190,8 +216,11 @@ let run_algo ?obs ~model ?budget ~k ~jobs algo g =
 
 (* Non-adaptive algorithms let Budget_exhausted escape; turn it into a
    CLI error instead of a backtrace. *)
-let timed_run ?obs ~model ?budget ~k ?(jobs = 1) algo g =
-  match timed (fun () -> run_algo ?obs ~model ?budget ~k ~jobs algo g) with
+let timed_run ?obs ~model ?budget ~k ?dpconv_objective ?(jobs = 1) algo g =
+  match
+    timed (fun () ->
+        run_algo ?obs ~model ?budget ~k ?dpconv_objective ~jobs algo g)
+  with
   | r -> Ok r
   | exception Core.Counters.Budget_exhausted ->
       Error
@@ -220,8 +249,8 @@ let read_sql s =
   else s
 
 let optimize_cmd =
-  let run sql algo model budget k jobs conservative verbose dot_plan profile
-      trace_out =
+  let run sql algo model budget k dpconv_objective jobs conservative verbose
+      dot_plan profile trace_out =
     match Sqlfront.Binder.parse_and_bind (read_sql sql) with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
@@ -234,7 +263,9 @@ let optimize_cmd =
         let g = Conflicts.Derive.hypergraph analysis in
         if verbose then Format.printf "%a@." G.pp g;
         let obs = obs_ctx profile trace_out in
-        match timed_run ?obs ~model ?budget ~k ~jobs algo g with
+        match
+          timed_run ?obs ~model ?budget ~k ~dpconv_objective ~jobs algo g
+        with
         | Error msg ->
             Format.eprintf "error: %s@." msg;
             1
@@ -258,21 +289,22 @@ let optimize_cmd =
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize a SQL query")
     Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
-          $ jobs_arg $ conservative_arg $ verbose $ dot_plan $ profile_arg
-          $ trace_out_arg)
+          $ dpconv_objective_arg $ jobs_arg $ conservative_arg $ verbose
+          $ dot_plan $ profile_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* explain: full-pipeline profile of one SQL query                     *)
 
 let explain_cmd =
-  let run sql algo model budget k jobs conservative cache_cap trace_out =
+  let run sql algo model budget k dpconv_objective jobs conservative cache_cap
+      trace_out =
     let mode =
       if conservative then Driver.Pipeline.Tes_conservative
       else Driver.Pipeline.Tes_literal
     in
     let go ?cache ctx =
       Driver.Pipeline.optimize_sql ~obs:ctx ?cache ~mode ~algo ~model ?budget
-        ~k ~jobs (read_sql sql)
+        ~k ~dpconv_objective ~jobs (read_sql sql)
     in
     let report ctx (r : Driver.Pipeline.result) =
       Format.printf "plan: %a@.cost: %.4g   est. cardinality: %.4g@.@."
@@ -331,7 +363,8 @@ let explain_cmd =
           derivation, enumeration with its tier/round sub-spans) with \
           wall-clock ms, minor-heap allocation and enumeration counters.")
     Term.(const run $ sql_arg $ algo_arg $ model_arg $ budget_arg $ k_arg
-          $ jobs_arg $ conservative_arg $ cache_cap $ trace_out_arg)
+          $ dpconv_objective_arg $ jobs_arg $ conservative_arg $ cache_cap
+          $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* cache-stats: replay a synthetic stream through a plan cache         *)
@@ -564,7 +597,8 @@ let stats_cmd =
 (* shape: benchmark graphs                                             *)
 
 let shape_cmd =
-  let run shape n splits algo model budget k jobs stable profile trace_out =
+  let run shape n splits algo model budget k dpconv_objective jobs stable
+      profile trace_out =
     match graph_of_shape shape n splits with
     | Error msg ->
         Format.eprintf "error: %s@." msg;
@@ -572,7 +606,9 @@ let shape_cmd =
     | Ok g -> (
         Format.printf "%a@." G.pp g;
         let obs = obs_ctx profile trace_out in
-        match timed_run ?obs ~model ?budget ~k ~jobs algo g with
+        match
+          timed_run ?obs ~model ?budget ~k ~dpconv_objective ~jobs algo g
+        with
         | Error msg ->
             Format.eprintf "error: %s@." msg;
             1
@@ -591,8 +627,8 @@ let shape_cmd =
   Cmd.v
     (Cmd.info "shape" ~doc:"Generate a benchmark graph and optimize it")
     Term.(const run $ shape_arg $ n_arg $ splits_arg $ algo_arg $ model_arg
-          $ budget_arg $ k_arg $ jobs_arg $ stable $ profile_arg
-          $ trace_out_arg)
+          $ budget_arg $ k_arg $ dpconv_objective_arg $ jobs_arg $ stable
+          $ profile_arg $ trace_out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* graph: save / load / optimize serialized hypergraphs                *)

@@ -1,12 +1,31 @@
 module G = Hypergraph.Graph
 
-type tier = Exact | Partitioned | Idp_k of int | Greedy
+type tier = Exact | Partitioned | Idp_k of int | Greedy | Conv
 
 let tier_name = function
   | Exact -> "exact"
   | Partitioned -> "partitioned"
   | Idp_k k -> Printf.sprintf "idp-%d" k
   | Greedy -> "greedy"
+  | Conv -> "dpconv"
+
+(* The subset-convolution pre-tier pays Θ(n·2^n) word operations up
+   front, which only beats DPhyp's Θ(3^n) pair stream when the graph
+   is dense enough that most subsets are connected — on sparse graphs
+   DPhyp's neighborhood walk never visits them.  12 relations is where
+   the clique crossover sits; 0.4 of the complete graph's edges keeps
+   the connected fraction (and hence the transform's useful work)
+   high. *)
+let conv_min_nodes = 12
+let conv_min_density = 0.4
+
+let conv_applicable g =
+  let n = G.num_nodes g in
+  n >= conv_min_nodes
+  && n <= Dpconv.max_relations
+  && Dpconv.supported g
+  && float_of_int (G.num_edges g)
+     >= conv_min_density *. float_of_int (n * (n - 1) / 2)
 
 type attempt = { tier : tier; completed : bool; pairs : int }
 
@@ -122,15 +141,58 @@ let solve ?obs ?tel ?(model = Costing.Cost_model.c_out) ?budget
         descend ks
   end
   else begin
-    let exact_counters = Counters.create ?budget () in
-    match
-      tier_span Exact exact_counters (fun () ->
-          Dphyp.solve_with_table ~model ~counters:exact_counters g)
-    with
-    | dp, plan -> finish Exact exact_counters (Plans.Dp_table.size dp) plan
-    | exception Counters.Budget_exhausted ->
-        record Exact false exact_counters;
-        descend ks
+    let exact ?bound ~on_exhausted () =
+      let exact_counters = Counters.create ?budget () in
+      match
+        tier_span Exact exact_counters (fun () ->
+            Dphyp.solve_with_table ~model ?bound ~counters:exact_counters g)
+      with
+      | dp, plan -> finish Exact exact_counters (Plans.Dp_table.size dp) plan
+      | exception Counters.Budget_exhausted ->
+          record Exact false exact_counters;
+          on_exhausted ()
+    in
+    if not (conv_applicable g) then exact ~on_exhausted:(fun () -> descend ks) ()
+    else begin
+      (* Dense simple graph: run the subset-convolution bound first.
+         Its certified C_out upper bound prunes the exact run (see
+         Dphyp's [bound]); if the exact rung then blows the budget the
+         dpconv plan — a real, checked plan — beats restarting from
+         IDP.  And since any plan's C_out sums its join outputs, the
+         exact bottleneck value C_max is a lower bound on the optimum:
+         when the two meet, the dpconv plan is already optimal and the
+         exact rung is skipped entirely. *)
+      let conv_counters = Counters.create ?budget () in
+      match
+        tier_span Conv conv_counters (fun () ->
+            Dpconv.solve ~model ~objective:Dpconv.Cout_bound
+              ~counters:conv_counters g)
+      with
+      | exception Counters.Budget_exhausted ->
+          record Conv false conv_counters;
+          exact ~on_exhausted:(fun () -> descend ks) ()
+      | o -> (
+          match o.Dpconv.plan with
+          | None ->
+              record Conv true conv_counters;
+              exact ~on_exhausted:(fun () -> descend ks) ()
+          | Some plan ->
+              let conv_entries = Plans.Dp_table.size o.Dpconv.dp in
+              let tight =
+                (* the C_max lower bound argument is specific to
+                   output-cardinality costing *)
+                model.Costing.Cost_model.name = "cout"
+                && o.Dpconv.bound <= o.Dpconv.cmax *. (1. +. 1e-9)
+              in
+              if tight then finish Conv conv_counters conv_entries (Some plan)
+              else begin
+                record Conv true conv_counters;
+                exact ~bound:o.Dpconv.bound
+                  ~on_exhausted:(fun () ->
+                    finish Conv conv_counters conv_entries (Some plan))
+                  ()
+              end)
+    end
   end
 
 (* The quality price of graceful degradation, as an aligned plan diff

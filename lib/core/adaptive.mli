@@ -26,10 +26,15 @@ type tier =
           relations *)
   | Idp_k of int  (** IDP with this block size produced the plan *)
   | Greedy  (** budget forced the fall back to GOO *)
+  | Conv
+      (** the subset-convolution plan answered: its certified bound
+          met the C_max lower bound (provably optimal, exact rung
+          skipped), or the bound-pruned exact rung blew the budget and
+          the dpconv plan is the best complete plan in hand *)
 
 val tier_name : tier -> string
-(** ["exact"], ["partitioned"], ["idp-<k>"], ["greedy"] — used by the
-    CLI and the benchmark JSON. *)
+(** ["exact"], ["partitioned"], ["idp-<k>"], ["greedy"], ["dpconv"] —
+    used by the CLI and the benchmark JSON. *)
 
 type attempt = {
   tier : tier;
@@ -73,7 +78,16 @@ val solve :
     more relations than {!Nodeset.Node_set.small_capacity} skip the
     exact rung and start at {!Partitioned} instead.  Schedule entries
     with [k >= n] or [k < 2] are skipped.  Never raises
-    {!Counters.Budget_exhausted}. *)
+    {!Counters.Budget_exhausted}.
+
+    Dense simple graphs (≥ 12 relations within
+    {!Dpconv.max_relations}, ≥ 40% of the complete graph's edges,
+    {!Dpconv.supported}) get a subset-convolution pre-tier: [Dpconv]'s
+    C_out mode computes a certified upper bound whose witness plan is
+    kept in hand, the bound prunes the exact DPhyp rung, and when the
+    bound already meets the C_max lower bound (C_out model only) the
+    exact rung is skipped — tier {!Conv}.  The exact rung's result is
+    unchanged by the pruning; only its cost drops. *)
 
 val loss_report :
   ?model:Costing.Cost_model.t ->

@@ -110,15 +110,15 @@ let run_subset ~emit ~counters ?leaf ~subset g dp =
 let run ~emit ~counters g dp =
   run_subset ~emit ~counters ~subset:(G.all_nodes g) g dp
 
-let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter
+let solve_with_table ?(model = Costing.Cost_model.c_out) ?filter ?bound
     ?(counters = Counters.create ()) g =
   let dp = Plans.Dp_table.create_for g in
-  let e = Emit.make ?filter ~model ~counters g dp in
+  let e = Emit.make ?filter ?bound ~model ~counters g dp in
   run ~emit:(Emit.emit_pair e) ~counters g dp;
   (dp, Plans.Dp_table.find dp (G.all_nodes g))
 
-let solve ?model ?filter ?counters g =
-  snd (solve_with_table ?model ?filter ?counters g)
+let solve ?model ?filter ?bound ?counters g =
+  snd (solve_with_table ?model ?filter ?bound ?counters g)
 
 let solve_subset ?(model = Costing.Cost_model.c_out) ?leaf
     ?(counters = Counters.create ()) ~subset g =

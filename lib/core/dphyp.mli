@@ -18,6 +18,7 @@
 val solve :
   ?model:Costing.Cost_model.t ->
   ?filter:Emit.filter ->
+  ?bound:float ->
   ?counters:Counters.t ->
   Hypergraph.Graph.t ->
   Plans.Plan.t option
@@ -26,11 +27,21 @@ val solve :
     {!Hypergraph.Graph.ensure_connected} — or when a filter rejects
     every decomposition of the full set).  Defaults: C_out model, no
     filter, fresh counters.  A budgeted [counters] makes the run raise
-    {!Counters.Budget_exhausted} once the budget is spent. *)
+    {!Counters.Budget_exhausted} once the budget is spent.
+
+    [bound] is a known upper bound on the optimal cost (see
+    {!Emit.make}): table entries costing more are dropped, and —
+    because dpTable membership doubles as the connectivity oracle —
+    every enumeration subtree growing out of a dropped entry is
+    skipped too.  The returned plan is identical to the unbounded
+    run's whenever the bound is valid and the model is additive with
+    non-negative join costs ([Adaptive] feeds it the certified bound
+    from [Dpconv]'s C_out mode). *)
 
 val solve_with_table :
   ?model:Costing.Cost_model.t ->
   ?filter:Emit.filter ->
+  ?bound:float ->
   ?counters:Counters.t ->
   Hypergraph.Graph.t ->
   Plans.Dp_table.t * Plans.Plan.t option

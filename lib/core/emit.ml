@@ -11,9 +11,19 @@ type t = {
   dp : Plans.Dp_table.t;
   counters : Counters.t;
   filter : filter option;
+  bound : float;
+      (* upper bound on the cost of any useful plan: candidates above
+         it never enter the table, which also prunes the enumeration
+         subtrees they would have seeded.  Safe whenever costs are
+         additive and non-negative (every subplan of an optimal plan
+         then costs at most the optimum): the surviving table is
+         byte-identical to the unbounded one.  [infinity] = off. *)
 }
 
-let make ?filter ~model ~counters g dp = { g; model; dp; counters; filter }
+let make ?filter ?(bound = infinity) ~model ~counters g dp =
+  { g; model; dp; counters; filter; bound }
+
+let within_bound t (plan : Plans.Plan.t) = plan.cost <= t.bound
 
 let applicable_op edges =
   let non_inner =
@@ -133,7 +143,8 @@ let try_build t ~op ~edge_ids ~sel (left : Plans.Plan.t) (right : Plans.Plan.t) 
       left right
   with
   | None -> ()
-  | Some plan -> ignore (Plans.Dp_table.update t.dp plan)
+  | Some plan ->
+      if within_bound t plan then ignore (Plans.Dp_table.update t.dp plan)
 
 let passes_filter t s1 s2 edges =
   match t.filter with
@@ -204,7 +215,8 @@ let emit_pair_with ~find ~add ?filter ~model ~counters g s1 s2 =
 let emit_pair t s1 s2 =
   emit_pair_with
     ~find:(Plans.Dp_table.find t.dp)
-    ~add:(fun _rank plan -> ignore (Plans.Dp_table.update t.dp plan))
+    ~add:(fun _rank plan ->
+      if within_bound t plan then ignore (Plans.Dp_table.update t.dp plan))
     ?filter:t.filter ~model:t.model ~counters:t.counters t.g s1 s2
 
 let emit_directed t s1 s2 =

@@ -27,11 +27,20 @@ type t
 
 val make :
   ?filter:filter ->
+  ?bound:float ->
   model:Costing.Cost_model.t ->
   counters:Counters.t ->
   Hypergraph.Graph.t ->
   Plans.Dp_table.t ->
   t
+(** [bound] (default [infinity]) is a known upper bound on the optimal
+    plan cost — e.g. the certified bound of [Dpconv]'s C_out mode.
+    Candidates costing more never enter the DP table, which in turn
+    prunes every enumeration subtree they would have seeded.  Sound
+    whenever the cost model is additive with non-negative join costs:
+    each subplan of an optimal plan costs at most the optimum, so the
+    surviving table (and the final plan) is identical to the unbounded
+    run's. *)
 
 val emit_pair : t -> Nodeset.Node_set.t -> Nodeset.Node_set.t -> unit
 (** Canonical emission for symmetric enumerators (DPhyp, DPccp): the

@@ -9,9 +9,11 @@ type algorithm =
   | Idp
   | Partition
   | Adaptive
+  | Dpconv
 
 let all =
-  [ Dphyp; Dpsize; Dpsub; Dpccp; Goo; Topdown; Tdpart; Idp; Partition; Adaptive ]
+  [ Dphyp; Dpsize; Dpsub; Dpccp; Goo; Topdown; Tdpart; Idp; Partition;
+    Adaptive; Dpconv ]
 
 let name = function
   | Dphyp -> "dphyp"
@@ -24,6 +26,7 @@ let name = function
   | Idp -> "idp"
   | Partition -> "partition"
   | Adaptive -> "adaptive"
+  | Dpconv -> "dpconv"
 
 let of_name = function
   | "dphyp" -> Some Dphyp
@@ -36,15 +39,17 @@ let of_name = function
   | "idp" -> Some Idp
   | "partition" -> Some Partition
   | "adaptive" -> Some Adaptive
+  | "dpconv" -> Some Dpconv
   | _ -> None
 
 let supports_filter = function
   | Dphyp | Dpsize | Dpsub -> true
-  | Dpccp | Goo | Topdown | Tdpart | Idp | Partition | Adaptive -> false
+  | Dpccp | Goo | Topdown | Tdpart | Idp | Partition | Adaptive | Dpconv ->
+      false
 
 let exact = function
   | Dphyp | Dpsize | Dpsub | Dpccp | Topdown | Tdpart -> true
-  | Goo | Idp | Partition | Adaptive -> false
+  | Goo | Idp | Partition | Adaptive | Dpconv -> false
 
 type result = {
   plan : Plans.Plan.t option;
@@ -54,7 +59,8 @@ type result = {
   attempts : Adaptive.attempt list;
 }
 
-let run ?obs ?tel ?model ?filter ?budget ?(k = Idp.default_k) algo g =
+let run ?obs ?tel ?model ?filter ?budget ?(k = Idp.default_k)
+    ?(dpconv_objective = Dpconv.Cmax) algo g =
   if filter <> None && not (supports_filter algo) then
     invalid_arg
       (Printf.sprintf "Optimizer.run: %s does not support a validity filter"
@@ -101,6 +107,15 @@ let run ?obs ?tel ?model ?filter ?budget ?(k = Idp.default_k) algo g =
           dp_entries = o.Adaptive.dp_entries;
           tier = Some o.Adaptive.tier;
           attempts = o.Adaptive.attempts;
+        }
+    | Dpconv ->
+        let o = Dpconv.solve ?model ~objective:dpconv_objective ~counters g in
+        {
+          plan = o.Dpconv.plan;
+          counters;
+          dp_entries = Plans.Dp_table.size o.Dpconv.dp;
+          tier = None;
+          attempts = [];
         }
   in
   match obs with

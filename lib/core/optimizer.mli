@@ -19,7 +19,14 @@ type algorithm =
           {!Nodeset.Node_set.small_capacity} relations *)
   | Adaptive
       (** budgeted ladder: DPhyp (or {!Partition} on wide queries),
-          then IDP with shrinking k, then GOO ({!Adaptive}) *)
+          then IDP with shrinking k, then GOO ({!Adaptive}); on dense
+          simple graphs a subset-convolution pre-tier ({!Dpconv})
+          bounds and prunes the exact run *)
+  | Dpconv
+      (** subset-convolution DP ({!Dpconv}): exact bottleneck (C_max)
+          optimum in Õ(2^n), or a certified C_out upper bound — simple
+          inner-join graphs of at most {!Dpconv.max_relations}
+          relations only *)
 
 val all : algorithm list
 
@@ -33,9 +40,10 @@ val supports_filter : algorithm -> bool
 
 val exact : algorithm -> bool
 (** Does the algorithm guarantee the optimal plan (everything except
-    GOO, IDP, Partition and Adaptive)?  Note Adaptive with an
+    GOO, IDP, Partition, Adaptive and Dpconv)?  Note Adaptive with an
     unlimited budget and IDP with [k >= n] do return the exact
-    optimum, but carry no general guarantee. *)
+    optimum, but carry no general guarantee; Dpconv is exact for the
+    bottleneck objective C_max but not for the session cost model. *)
 
 type result = {
   plan : Plans.Plan.t option;
@@ -56,6 +64,7 @@ val run :
   ?filter:Emit.filter ->
   ?budget:int ->
   ?k:int ->
+  ?dpconv_objective:Dpconv.objective ->
   algorithm ->
   Hypergraph.Graph.t ->
   result
@@ -78,6 +87,8 @@ val run :
     {!Counters.Budget_exhausted} — the caller asked for a hard limit
     on an algorithm with no fallback.  [?k] is the IDP block size
     (default {!Idp.default_k}; ignored except by [Idp]).
+    [?dpconv_objective] selects [Dpconv]'s objective (default
+    {!Dpconv.Cmax}; ignored by every other algorithm).
 
     @raise Invalid_argument when [Dpccp] is given a hypergraph with
     non-simple edges, or a [filter] is passed to an algorithm that

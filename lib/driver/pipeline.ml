@@ -45,10 +45,12 @@ let prov_summary graph prov =
    a domain pool — only DPhyp has a parallel decomposition (see
    Parallel.Par_dphyp); every other algorithm refuses rather than
    silently running sequentially. *)
-let run_algo ?obs ?tel ?model ?filter ?budget ?k ?inspect ~jobs algo graph =
+let run_algo ?obs ?tel ?model ?filter ?budget ?k ?dpconv_objective ?inspect
+    ~jobs algo graph =
   let go () =
     if jobs <= 1 then
-      Core.Optimizer.run ?obs ?tel ?model ?filter ?budget ?k algo graph
+      Core.Optimizer.run ?obs ?tel ?model ?filter ?budget ?k ?dpconv_objective
+        algo graph
     else if algo <> Core.Optimizer.Dphyp then
       invalid_arg
         (Printf.sprintf "jobs > 1 requires the dphyp algorithm (got %s)"
@@ -74,9 +76,17 @@ let run_algo ?obs ?tel ?model ?filter ?budget ?k ?inspect ~jobs algo graph =
    is byte-identical to sequential for every jobs count, so one entry
    serves all of them (the differential test sweeps jobs to prove
    it). *)
-let exact_key ?model ?budget ?k algo graph =
+let exact_key ?model ?budget ?k ?(dpconv_objective = Core.Dpconv.Cmax) algo
+    graph =
   Printf.sprintf "algo=%s model=%s budget=%s k=%d\n%s"
-    (Core.Optimizer.name algo)
+    (* the objective changes dpconv's plan, so it is part of the
+       algorithm component; other algorithms ignore it and keep their
+       existing keys *)
+    (match algo with
+    | Core.Optimizer.Dpconv ->
+        Core.Optimizer.name algo ^ ":"
+        ^ Core.Dpconv.objective_name dpconv_objective
+    | _ -> Core.Optimizer.name algo)
     (match model with
     | Some (m : Costing.Cost_model.t) -> m.name
     | None -> Costing.Cost_model.c_out.name)
@@ -95,27 +105,30 @@ let exact_key ?model ?budget ?k algo graph =
 (* Returns the optimizer result plus the plan-cache outcome name, so
    the telemetry layer can label series and recorder entries without
    re-deriving it from span attributes. *)
-let run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k ?inspect ~jobs algo
-    graph =
+let run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k ?dpconv_objective
+    ?inspect ~jobs algo graph =
   match cache with
   | None ->
-      (run_algo ?obs ?tel ?model ?filter ?budget ?k ?inspect ~jobs algo graph,
+      (run_algo ?obs ?tel ?model ?filter ?budget ?k ?dpconv_objective ?inspect
+         ~jobs algo graph,
        None)
   | Some _ when filter <> None || inspect <> None ->
       (* a provenance-recorded request must actually enumerate — a
          cache hit has no decision trail to record *)
-      (run_algo ?obs ?tel ?model ?filter ?budget ?k ?inspect ~jobs algo graph,
+      (run_algo ?obs ?tel ?model ?filter ?budget ?k ?dpconv_objective ?inspect
+         ~jobs algo graph,
        None)
   | Some c ->
       Obs.Span.with_opt obs "cache" (fun sp ->
           let key =
             Cache.Plan_cache.key
               ~fingerprint:(Cache.Fingerprint.of_graph graph)
-              ~exact:(exact_key ?model ?budget ?k algo graph)
+              ~exact:(exact_key ?model ?budget ?k ?dpconv_objective algo graph)
           in
           let r, outcome =
             Cache.Plan_cache.find_or_compute c key (fun () ->
-                run_algo ?obs ?tel ?model ?budget ?k ~jobs algo graph)
+                run_algo ?obs ?tel ?model ?budget ?k ?dpconv_objective ~jobs
+                  algo graph)
           in
           let name = Cache.Plan_cache.outcome_name outcome in
           Obs.Span.set_opt sp "cache" (Obs.Span.Str name);
@@ -231,8 +244,8 @@ let private_ctx obs tel =
   | _ -> obs
 
 let optimize_tree ?obs ?tel ?cache ?inspect ?(mode = Tes_literal)
-    ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k ?(jobs = 1) ?cards ?sels
-    tree =
+    ?(algo = Core.Optimizer.Dphyp) ?model ?budget ?k ?dpconv_objective
+    ?(jobs = 1) ?cards ?sels tree =
   let obs_user = obs in
   let obs = private_ctx obs tel in
   let t0 = Obs.Span.now () in
@@ -288,8 +301,8 @@ let optimize_tree ?obs ?tel ?cache ?inspect ?(mode = Tes_literal)
             | None -> ()
           in
           match
-            run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k ?inspect
-              ~jobs algo graph
+            run_cached ?obs ?tel ?cache ?model ?filter ?budget ?k
+              ?dpconv_objective ?inspect ~jobs algo graph
           with
           | ({ plan = Some plan; counters; tier; _ } as r), outc ->
               finish (Ok (r, outc));
@@ -312,16 +325,16 @@ let optimize_tree ?obs ?tel ?cache ?inspect ?(mode = Tes_literal)
               finish (Error ());
               Error budget_error))
 
-let optimize_sql ?obs ?tel ?cache ?inspect ?mode ?algo ?model ?budget ?k ?jobs
-    ?cards ?sels sql =
+let optimize_sql ?obs ?tel ?cache ?inspect ?mode ?algo ?model ?budget ?k
+    ?dpconv_objective ?jobs ?cards ?sels sql =
   match Obs.Span.with_opt obs "parse" (fun _ -> Sqlfront.Binder.parse_and_bind sql) with
   | Error m -> Error m
   | Ok bound ->
       optimize_tree ?obs ?tel ?cache ?inspect ?mode ?algo ?model ?budget ?k
-        ?jobs ?cards ?sels bound.tree
+        ?dpconv_objective ?jobs ?cards ?sels bound.tree
 
 let optimize_graph ?obs ?tel ?cache ?inspect ?(algo = Core.Optimizer.Dphyp)
-    ?model ?budget ?k ?(jobs = 1) graph =
+    ?model ?budget ?k ?dpconv_objective ?(jobs = 1) graph =
   let obs_user = obs in
   let obs = private_ctx obs tel in
   let t0 = Obs.Span.now () in
@@ -332,7 +345,8 @@ let optimize_graph ?obs ?tel ?cache ?inspect ?(algo = Core.Optimizer.Dphyp)
     | None -> ()
   in
   match
-    run_cached ?obs ?tel ?cache ?model ?budget ?k ?inspect ~jobs algo graph
+    run_cached ?obs ?tel ?cache ?model ?budget ?k ?dpconv_objective ?inspect
+      ~jobs algo graph
   with
   | ({ plan = Some plan; counters; tier; _ } as r), outc ->
       let tree =

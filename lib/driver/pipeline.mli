@@ -74,6 +74,7 @@ val optimize_tree :
   ?model:Costing.Cost_model.t ->
   ?budget:int ->
   ?k:int ->
+  ?dpconv_objective:Core.Dpconv.objective ->
   ?jobs:int ->
   ?cards:(int -> float) ->
   ?sels:(int -> float) ->
@@ -85,9 +86,11 @@ val optimize_tree :
     ([simplify], [conflict-analysis], [hypergraph-derive],
     [enumerate:<algo>] plus the per-tier / per-round spans inside it)
     and fills the result's [profile]; omitting it runs the completely
-    un-instrumented path.  [?budget] and [?k] are forwarded to
-    {!Core.Optimizer.run}; a non-adaptive algorithm that blows the
-    budget yields [Error] rather than an exception.  [?jobs] (default
+    un-instrumented path.  [?budget], [?k] and [?dpconv_objective]
+    are forwarded to {!Core.Optimizer.run}; a non-adaptive algorithm
+    that blows the budget yields [Error] rather than an exception.
+    The dpconv objective is part of the plan-cache key (it changes
+    the plan); other algorithms ignore it and keep their keys.  [?jobs] (default
     1) enumerates on that many domains via {!Parallel.Par_dphyp} —
     the plan is byte-identical to the sequential one for every value;
     only DPhyp has a parallel decomposition, so [jobs > 1] with any
@@ -136,6 +139,7 @@ val optimize_sql :
   ?model:Costing.Cost_model.t ->
   ?budget:int ->
   ?k:int ->
+  ?dpconv_objective:Core.Dpconv.objective ->
   ?jobs:int ->
   ?cards:(int -> float) ->
   ?sels:(int -> float) ->
@@ -152,6 +156,7 @@ val optimize_graph :
   ?model:Costing.Cost_model.t ->
   ?budget:int ->
   ?k:int ->
+  ?dpconv_objective:Core.Dpconv.objective ->
   ?jobs:int ->
   Hypergraph.Graph.t ->
   (result, string) Result.t

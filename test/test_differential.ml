@@ -304,6 +304,232 @@ let test_pipeline_budget_error () =
   | Error m -> check "mentions the budget" true (contains_sub m "budget")
   | Ok _ -> Alcotest.fail "a 100-pair budget cannot optimize a 12-clique"
 
+(* ---------- dpconv: subset-convolution DP ---------- *)
+
+module Dc = Core.Dpconv
+
+(* Simple inner-join graphs n <= 10 — the band where the brute-force
+   C_max reference below is affordable. *)
+let dpconv_suite () =
+  [
+    ("chain7", Workloads.Shapes.chain 7);
+    ("cycle8", Workloads.Shapes.cycle 8);
+    ("star6", Workloads.Shapes.star 6);
+    ("star8", Workloads.Shapes.star 8);
+    ("clique6", Workloads.Shapes.clique 6);
+    ("clique8", Workloads.Shapes.clique 8);
+    ("clique10", Workloads.Shapes.clique 10);
+    ("grid2x4", Workloads.Shapes.grid ~rows:2 ~cols:4 ());
+    ("grid2x5", Workloads.Shapes.grid ~rows:2 ~cols:5 ());
+  ]
+
+(* Brute-force C_max reference: plain memoized min-max recursion over
+   all partitions into connected halves — the O(3^n) definition the
+   convolution is supposed to reproduce. *)
+let brute_cmax g =
+  let module H = Hashtbl in
+  let cards : (Ns.t, float) H.t = H.create 256 in
+  let rec card s =
+    match H.find_opt cards s with
+    | Some c -> c
+    | None ->
+        let c =
+          if Ns.is_singleton s then G.cardinality g (Ns.min_elt s)
+          else
+            let v = Ns.min_elt s in
+            let rest = Ns.remove v s in
+            let sel =
+              Array.fold_left
+                (fun acc (e : Hypergraph.Hyperedge.t) ->
+                  let a = Ns.min_elt e.u and b = Ns.min_elt e.v in
+                  if
+                    (a = v && Ns.mem b rest) || (b = v && Ns.mem a rest)
+                  then acc *. e.sel
+                  else acc)
+                1.0 (G.edges g)
+            in
+            card rest *. G.cardinality g v *. sel
+        in
+        H.add cards s c;
+        c
+  in
+  let connected s =
+    Ns.is_singleton s
+    ||
+    let rec grow reach =
+      let next =
+        Ns.inter (G.simple_neighborhood g reach) (Ns.diff s reach)
+      in
+      if Ns.is_empty next then reach else grow (Ns.union reach next)
+    in
+    Ns.equal (grow (Ns.min_set s)) s
+  in
+  let memo : (Ns.t, float) H.t = H.create 256 in
+  let rec cmax s =
+    if Ns.is_singleton s then 0.
+    else
+      match H.find_opt memo s with
+      | Some v -> v
+      | None ->
+          let best = ref infinity in
+          let v = Ns.min_set s in
+          Nodeset.Subset_enum.iter_all (Ns.without_min s) (fun rest ->
+              let t = Ns.union v rest in
+              let other = Ns.diff s t in
+              if
+                (not (Ns.is_empty other))
+                && connected t && connected other
+              then
+                let c =
+                  Float.max (card s) (Float.max (cmax t) (cmax other))
+                in
+                if c < !best then best := c);
+          H.add memo s !best;
+          !best
+  in
+  cmax (G.all_nodes g)
+
+let rec max_join_card (p : Plans.Plan.t) =
+  match p.Plans.Plan.tree with
+  | Plans.Plan.Scan _ | Plans.Plan.Compound _ -> 0.
+  | Plans.Plan.Join j ->
+      Float.max p.Plans.Plan.card
+        (Float.max (max_join_card j.Plans.Plan.left)
+           (max_join_card j.Plans.Plan.right))
+
+let check_dpconv_cmax name g =
+  let reference = brute_cmax g in
+  let o = Dc.solve ~objective:Dc.Cmax g in
+  match o.Dc.plan with
+  | None -> Alcotest.failf "%s: dpconv cmax found no plan" name
+  | Some p ->
+      (match Plans.Plan_check.check g p with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "%s: dpconv plan invalid: %s" name
+            (String.concat "; "
+               (List.map Plans.Plan_check.issue_to_string issues)));
+      check (name ^ ": covers all relations") true
+        (Ns.equal p.Plans.Plan.set (G.all_nodes g));
+      if not (close o.Dc.cmax reference) then
+        Alcotest.failf "%s: dpconv cmax %.17g <> brute force %.17g" name
+          o.Dc.cmax reference;
+      (* the witness really achieves the optimum it claims *)
+      check (name ^ ": witness within cmax") true
+        (max_join_card p <= o.Dc.cmax *. (1. +. 1e-9))
+
+let test_dpconv_cmax_suite () =
+  List.iter (fun (name, g) -> check_dpconv_cmax name g) (dpconv_suite ())
+
+let prop_dpconv_cmax_random =
+  QCheck.Test.make
+    ~name:"dpconv cmax = brute-force min-max on random simple graphs"
+    ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g = random_simple seed in
+      check_dpconv_cmax "random-simple" g;
+      true)
+
+(* The C_out bound must sit above the exact optimum (it is the cost of
+   a real plan) and be Plan_check-valid; disagreements render through
+   the aligned plan diff. *)
+let check_dpconv_cout name g =
+  let exact_r = Opt.run Opt.Dphyp g in
+  let exact = cost_of (name ^ "/dphyp") exact_r in
+  let o = Dc.solve ~objective:Dc.Cout_bound g in
+  match o.Dc.plan with
+  | None -> Alcotest.failf "%s: dpconv cout-bound found no plan" name
+  | Some p ->
+      (match Plans.Plan_check.check g p with
+      | [] -> ()
+      | issues ->
+          Alcotest.failf "%s: dpconv cout plan invalid: %s" name
+            (String.concat "; "
+               (List.map Plans.Plan_check.issue_to_string issues)));
+      check (name ^ ": bound is the plan's cost") true
+        (close o.Dc.bound p.Plans.Plan.cost);
+      if o.Dc.bound < exact -. (1e-9 *. Float.max 1.0 exact) then
+        let names i = (G.relation g i).G.name in
+        Alcotest.failf
+          "%s: dpconv cout bound %.6g below exact optimum %.6g\n%s" name
+          o.Dc.bound exact
+          (Plans.Plan_diff.report ~names
+             ~labels:("dpconv", "dphyp")
+             p
+             (Option.get exact_r.Opt.plan))
+
+let test_dpconv_cout_suite () =
+  List.iter (fun (name, g) -> check_dpconv_cout name g) (dpconv_suite ())
+
+let prop_dpconv_cout_random =
+  QCheck.Test.make
+    ~name:"dpconv cout bound >= exact optimum on random simple graphs"
+    ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let g = random_simple seed in
+      check_dpconv_cout "random-simple" g;
+      true)
+
+(* The adaptive dense tier: the convolution runs first on dense simple
+   graphs and its certified bound prunes the exact rung without
+   changing its answer. *)
+let test_dpconv_adaptive_dense () =
+  let g = Workloads.Shapes.clique 12 in
+  let exact = cost_of "clique12/dphyp" (Opt.run Opt.Dphyp g) in
+  let r = Opt.run Opt.Adaptive g in
+  Alcotest.(check (float 1e-9))
+    "adaptive (bound-pruned exact) = plain exact" exact
+    (cost_of "clique12/adaptive" r);
+  check "conv tier attempted" true
+    (List.exists
+       (fun (a : Core.Adaptive.attempt) ->
+         a.Core.Adaptive.tier = Core.Adaptive.Conv)
+       r.Opt.attempts);
+  check "exact tier won" true (r.Opt.tier = Some Core.Adaptive.Exact);
+  (* sparse graph in the same size band: the density gate must not
+     fire and the ladder is exactly what it was before *)
+  let sparse = Workloads.Shapes.cycle 12 in
+  let r2 = Opt.run Opt.Adaptive sparse in
+  check "no conv tier on sparse graph" true
+    (List.for_all
+       (fun (a : Core.Adaptive.attempt) ->
+         a.Core.Adaptive.tier <> Core.Adaptive.Conv)
+       r2.Opt.attempts)
+
+(* Budget large enough for the convolution but not for the pruned
+   exact rung: the certified dpconv plan answers instead of degrading
+   to IDP. *)
+let test_dpconv_adaptive_budget () =
+  let g = Workloads.Shapes.clique 12 in
+  let exact = cost_of "clique12/dphyp" (Opt.run Opt.Dphyp g) in
+  let r = Opt.run ~budget:5_000 Opt.Adaptive g in
+  check "conv tier won under budget" true
+    (r.Opt.tier = Some Core.Adaptive.Conv);
+  let cost = cost_of "clique12/adaptive-budget" r in
+  check "certified plan bounds the optimum" true
+    (cost >= exact -. (1e-9 *. exact));
+  match r.Opt.plan with
+  | None -> Alcotest.fail "no plan from the conv tier"
+  | Some p -> check "conv plan valid" true (Plans.Plan_check.check g p = [])
+
+let test_dpconv_rejects_unsupported () =
+  let hyper =
+    Workloads.Random_graphs.hyper ~seed:7 ~n:6 ~extra_edges:1 ~hyperedges:2
+      ~max_hypernode:3 ()
+  in
+  check "hyper not supported" false (Dc.supported hyper);
+  Alcotest.check_raises "dpconv refuses hypergraphs"
+    (Invalid_argument
+       (Printf.sprintf
+          "Dpconv: unsupported graph (needs 1..%d relations, simple edges, \
+           inner operators, no free variables); use dphyp"
+          Dc.max_relations))
+    (fun () -> ignore (Dc.solve hyper));
+  check "clique-19 over the cap" false
+    (Dc.supported (Workloads.Shapes.clique 19))
+
 (* ---------- parallel enumeration is invisible ---------- *)
 
 (* Whatever the shape, the size (n <= 14) and the jobs count, the
@@ -418,6 +644,21 @@ let () =
             test_adaptive_through_pipeline;
           Alcotest.test_case "budget exhaustion is an Error" `Quick
             test_pipeline_budget_error;
+        ] );
+      ( "dpconv",
+        [
+          Alcotest.test_case "cmax = brute force on suite graphs" `Quick
+            test_dpconv_cmax_suite;
+          q prop_dpconv_cmax_random;
+          Alcotest.test_case "cout bound >= exact on suite graphs" `Quick
+            test_dpconv_cout_suite;
+          q prop_dpconv_cout_random;
+          Alcotest.test_case "adaptive dense tier prunes, answer unchanged"
+            `Quick test_dpconv_adaptive_dense;
+          Alcotest.test_case "adaptive conv tier answers under budget" `Quick
+            test_dpconv_adaptive_budget;
+          Alcotest.test_case "rejects unsupported graphs" `Quick
+            test_dpconv_rejects_unsupported;
         ] );
       ( "parallel",
         [

@@ -215,6 +215,34 @@ dune exec bin/joinopt.exe -- shape -s star -n 127 --algo adaptive --stable \
   > "$out/star127.txt"
 grep -q 'tier: partitioned' "$out/star127.txt"
 grep -q 'plan check: ok' "$out/star127.txt"
+# DPconv smoke point: subset-convolution exact C_max plus the
+# certified C_out bound on the quick dense graphs.  The bench aborts
+# if any dpconv plan fails Plan_check or any certified bound lands
+# below the DPhyp optimum, and writes the _dphyp companion (identical
+# summary keys, DPhyp times) for the bench_diff speedup gates.
+dune exec bench/main.exe -- --quick --dpconv-json "$out/bench_dpconv.json"
+grep -q '"schema": "bench_dpconv/v1"' "$out/bench_dpconv.json"
+grep -q '"schema": "bench_dpconv_dphyp/v1"' "$out/bench_dpconv_dphyp.json"
+grep -q '"speedup_cmax"' "$out/bench_dpconv.json"
+grep -q '"bound_vs_exact"' "$out/bench_dpconv.json"
+grep -q '"summary"' "$out/bench_dpconv.json"
+# quick-pair speedup gate: exact C_max by subset convolution must run
+# in at most half the DPhyp time even on the small quick cliques
+dune exec tools/bench_diff.exe -- --threshold 0.5 \
+  "$out/bench_dpconv_dphyp.json" "$out/bench_dpconv.json"
+# and the committed full-mode pair: the "breaks the 3^n wall" claim,
+# >= 10x geomean on the clique-10..16 points
+dune exec tools/bench_diff.exe -- --threshold 0.1 \
+  results/BENCH_dpconv_dphyp.json results/BENCH_dpconv.json
+# CLI: --algo dpconv must print a structurally verified plan for both
+# objectives
+dune build bin/joinopt.exe
+dune exec bin/joinopt.exe -- shape -s clique -n 10 -a dpconv --stable \
+  > "$out/dpconv.txt"
+grep -q 'plan check: ok' "$out/dpconv.txt"
+dune exec bin/joinopt.exe -- shape -s clique -n 10 -a dpconv \
+  --dpconv-objective cout-bound --stable > "$out/dpconv_cout.txt"
+grep -q 'plan check: ok' "$out/dpconv_cout.txt"
 # EXPLAIN ANALYZE smoke point: the analyze subcommand must produce an
 # obs_analyze/v1 document with per-operator estimates, actuals and
 # Q-errors plus the aggregate summary.  Schema drift fails here.
